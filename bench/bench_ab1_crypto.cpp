@@ -1,0 +1,114 @@
+// AB1 — crypto cost ablation (real CPU time via google-benchmark).
+//
+// The paper attributes FS-NewTOP's latency overhead to three sources, two of
+// which are cryptographic: authenticating input messages and signing output
+// messages (MD5 with RSA). This bench measures this library's own
+// implementations; the results calibrate sim::CostModel's rsa_sign /
+// rsa_verify / hash_per_byte constants used by the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/biguint.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace failsig;
+using namespace failsig::crypto;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+void BM_Md5(benchmark::State& state) {
+    const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Md5::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(3)->Arg(1024)->Arg(10 * 1024);
+
+void BM_Sha256(benchmark::State& state) {
+    const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(3)->Arg(1024)->Arg(10 * 1024);
+
+void BM_HmacSha256(benchmark::State& state) {
+    const Bytes key = random_bytes(32, 3);
+    const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hmac_sha256(key, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(3)->Arg(1024)->Arg(10 * 1024);
+
+void BM_RsaSign(benchmark::State& state) {
+    Rng rng(5);
+    const auto kp = rsa_generate(static_cast<std::size_t>(state.range(0)), rng);
+    const Bytes msg = random_bytes(256, 6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rsa_sign(kp.priv, msg));
+    }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+    Rng rng(7);
+    const auto kp = rsa_generate(static_cast<std::size_t>(state.range(0)), rng);
+    const Bytes msg = random_bytes(256, 8);
+    const Bytes sig = rsa_sign(kp.priv, msg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rsa_verify(kp.pub, msg, sig));
+    }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Modexp(benchmark::State& state) {
+    Rng rng(9);
+    const auto kp = rsa_generate(static_cast<std::size_t>(state.range(0)), rng);
+    const Montgomery mont(kp.pub.n);
+    const BigUint base = BigUint::from_bytes_be(random_bytes(32, 10));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mont.modexp(base, kp.priv.d));
+    }
+}
+BENCHMARK(BM_Modexp)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_RsaKeygen(benchmark::State& state) {
+    std::uint64_t seed = 11;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        benchmark::DoNotOptimize(rsa_generate(static_cast<std::size_t>(state.range(0)), rng));
+    }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_SignerBackends(benchmark::State& state) {
+    const auto backend = state.range(0) == 0 ? KeyService::Backend::kHmac
+                                             : KeyService::Backend::kRsa;
+    KeyService keys(backend, 512, 12);
+    keys.register_principal("p");
+    const Bytes msg = random_bytes(300, 13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(keys.signer("p").sign(msg));
+    }
+    state.SetLabel(backend == KeyService::Backend::kHmac ? "hmac" : "rsa");
+}
+BENCHMARK(BM_SignerBackends)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

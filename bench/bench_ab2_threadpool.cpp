@@ -1,0 +1,38 @@
+// AB2 — worker-pool / CPU-capacity ablation.
+//
+// The paper attributes the Figure 7 throughput shape to the ORB's
+// configurable request-handling pool (default 10 threads, multiplexed onto
+// dual-processor nodes). In the simulator the pool size is the node's
+// concurrent CPU capacity; this bench sweeps it to expose its effect on the
+// crash-tolerant system's throughput (deployments default to 2 = the
+// testbed's dual CPUs).
+#include "harness.hpp"
+
+int main() {
+    using namespace failsig;
+    using namespace failsig::bench;
+
+    print_header("AB2: NewTOP throughput vs ORB thread-pool size",
+                 "small pools serialize dispatch and depress throughput; beyond ~10 threads "
+                 "returns diminish because the single-threaded GC becomes the bottleneck");
+
+    const int pools[] = {1, 2, 4, 10, 20};
+    std::printf("%-8s", "members");
+    for (const int p : pools) std::printf(" pool=%-10d", p);
+    std::printf("\n");
+
+    for (const int n : {2, 6, 10, 14}) {
+        std::printf("%-8d", n);
+        for (const int p : pools) {
+            ExperimentConfig cfg;
+            cfg.group_size = n;
+            cfg.msgs_per_member = 30;
+            cfg.thread_pool = p;
+            cfg.system = System::kNewTop;
+            const auto r = run_experiment(cfg);
+            std::printf(" %-15.1f", r.throughput_msg_s);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+// FIG6 — reproduces paper Figure 6: symmetric-total-order latency of small
+// (3-byte) messages vs group size, NewTOP vs FS-NewTOP.
+//
+// Expected shape (paper §4): FS-NewTOP shows a fairly constant absolute
+// latency overhead for small groups; the gap grows with group size, reaching
+// ~50% relative overhead at 9-10 members; both curves grow with n.
+#include "harness.hpp"
+
+int main() {
+    using namespace failsig;
+    using namespace failsig::bench;
+
+    print_header("FIG6: symmetric total order latency vs group size (3-byte messages)",
+                 "constant FS gap for small n; ~50% overhead at n=9-10; both rise with n");
+
+    std::printf("%-8s %-16s %-16s %-12s %-12s\n", "members", "NewTOP(ms)", "FS-NewTOP(ms)",
+                "gap(ms)", "overhead");
+    for (int n = 2; n <= 10; ++n) {
+        ExperimentConfig cfg;
+        cfg.group_size = n;
+        cfg.msgs_per_member = 40;
+        cfg.payload_size = 3;
+
+        cfg.system = System::kNewTop;
+        const auto newtop = run_experiment(cfg);
+        cfg.system = System::kFsNewTop;
+        const auto fsnewtop = run_experiment(cfg);
+
+        const double gap = fsnewtop.mean_latency_ms - newtop.mean_latency_ms;
+        const double overhead = newtop.mean_latency_ms > 0
+                                    ? 100.0 * gap / newtop.mean_latency_ms
+                                    : 0.0;
+        std::printf("%-8d %-16.1f %-16.1f %-12.1f %6.0f%%%s\n", n, newtop.mean_latency_ms,
+                    fsnewtop.mean_latency_ms, gap, overhead,
+                    fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+// FIG7 — reproduces paper Figure 7: symmetric-total-order throughput vs
+// group size (3-byte messages, thread pool of 10).
+//
+// Expected shape (paper §4): both systems' throughput RISES from n=2,
+// peaks around the thread-pool-scale group size, and drops for groups
+// larger than ~10; FS-NewTOP's overhead is 20-30% for small groups, rising
+// to ~100% for groups with more than 10 members.
+#include "harness.hpp"
+
+int main() {
+    using namespace failsig;
+    using namespace failsig::bench;
+
+    print_header("FIG7: throughput vs group size (3-byte messages)",
+                 "both rise from n=2, peak near 10, drop beyond; FS overhead 20-30% small n, "
+                 "~100% for n>10");
+
+    std::printf("%-8s %-18s %-18s %-12s\n", "members", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
+                "overhead");
+    for (int n = 2; n <= 15; ++n) {
+        ExperimentConfig cfg;
+        cfg.group_size = n;
+        cfg.msgs_per_member = 40;
+        cfg.payload_size = 3;
+
+        cfg.system = System::kNewTop;
+        const auto newtop = run_experiment(cfg);
+        cfg.system = System::kFsNewTop;
+        const auto fsnewtop = run_experiment(cfg);
+
+        const double overhead =
+            fsnewtop.throughput_msg_s > 0
+                ? 100.0 * (newtop.throughput_msg_s - fsnewtop.throughput_msg_s) /
+                      fsnewtop.throughput_msg_s
+                : 0.0;
+        std::printf("%-8d %-18.1f %-18.1f %6.0f%%%s\n", n, newtop.throughput_msg_s,
+                    fsnewtop.throughput_msg_s, overhead,
+                    fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,39 @@
+// FIG8 — reproduces paper Figure 8: throughput vs message size for a fixed
+// 10-member group.
+//
+// Expected shape (paper §4): both systems' throughput decreases with
+// increasing message size; FS-NewTOP's throughput deficit is roughly
+// constant in absolute terms (~30 msg/s in the paper) across sizes.
+#include "harness.hpp"
+
+int main() {
+    using namespace failsig;
+    using namespace failsig::bench;
+
+    print_header("FIG8: throughput vs message size (10 members)",
+                 "both fall with size; FS absolute gap roughly constant across sizes");
+
+    std::printf("%-10s %-18s %-18s %-14s\n", "size", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
+                "gap(msg/s)");
+    for (int kb = 0; kb <= 10; ++kb) {
+        ExperimentConfig cfg;
+        cfg.group_size = 10;
+        cfg.msgs_per_member = 30;
+        // Run at saturation so throughput measures capacity (as the paper's
+        // fixed-group, size-swept runs do), not the injection rate.
+        cfg.send_interval = 40 * kMillisecond;
+        cfg.payload_size = static_cast<std::size_t>(kb) * 1024;
+        if (cfg.payload_size < 8) cfg.payload_size = 8;  // room for the latency tag
+
+        cfg.system = System::kNewTop;
+        const auto newtop = run_experiment(cfg);
+        cfg.system = System::kFsNewTop;
+        const auto fsnewtop = run_experiment(cfg);
+
+        std::printf("%2dk        %-18.1f %-18.1f %-14.1f%s\n", kb, newtop.throughput_msg_s,
+                    fsnewtop.throughput_msg_s,
+                    newtop.throughput_msg_s - fsnewtop.throughput_msg_s,
+                    fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,167 @@
+// Shared experiment harness for the figure/ablation benches.
+//
+// Reproduces the paper's §4 methodology: every member multicasts M messages
+// at a fixed interval (identical for NewTOP and FS-NewTOP); we record
+//   * ordering latency  — multicast() call to delivery, averaged over every
+//     (message, member) pair, and
+//   * throughput        — total multicasts ordered divided by the makespan
+//     (first send to last delivery), i.e. "time needed to order M messages
+//     sent by each A_i".
+// Absolute values are simulator-calibrated, not testbed-measured; the shapes
+// are the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <map>
+
+#include "fsnewtop/deployment.hpp"
+#include "newtop/deployment.hpp"
+#include "sim/stats.hpp"
+
+namespace failsig::bench {
+
+enum class System { kNewTop, kFsNewTop };
+
+inline const char* name_of(System s) { return s == System::kNewTop ? "NewTOP" : "FS-NewTOP"; }
+
+struct ExperimentConfig {
+    System system{System::kNewTop};
+    int group_size{3};
+    int msgs_per_member{50};
+    std::size_t payload_size{3};  // paper: 3-byte messages
+    Duration send_interval{80 * kMillisecond};
+    int thread_pool{2};
+    std::uint64_t seed{42};
+    newtop::ServiceType service{newtop::ServiceType::kSymmetricTotalOrder};
+};
+
+struct ExperimentResult {
+    double mean_latency_ms{0};
+    double p95_latency_ms{0};
+    double throughput_msg_s{0};
+    std::uint64_t network_messages{0};
+    std::uint64_t network_bytes{0};
+    bool fail_signals{false};
+    std::uint64_t expected_deliveries{0};
+    std::uint64_t observed_deliveries{0};
+};
+
+namespace detail {
+
+/// Payload: 8-byte (sender,seq) tag padded to the requested size.
+inline Bytes make_payload(std::uint32_t sender, std::uint32_t seq, std::size_t size) {
+    ByteWriter w;
+    w.u32(sender);
+    w.u32(seq);
+    Bytes out = w.take();
+    if (out.size() < size) out.resize(size, 0x5a);
+    return out;
+}
+
+struct LatencyTracker {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> sent_at;
+    sim::Stats latencies_ms;
+    TimePoint first_send{0};
+    TimePoint last_delivery{0};
+    std::uint64_t deliveries{0};
+
+    void on_sent(std::uint32_t sender, std::uint32_t seq, TimePoint now) {
+        if (sent_at.empty()) first_send = now;
+        sent_at[{sender, seq}] = now;
+    }
+    void on_delivered(const Bytes& payload, TimePoint now) {
+        if (payload.size() < 8) return;
+        ByteReader r(payload);
+        const auto sender = r.u32();
+        const auto seq = r.u32();
+        const auto it = sent_at.find({sender, seq});
+        if (it == sent_at.end()) return;
+        latencies_ms.add(static_cast<double>(now - it->second) / kMillisecond);
+        last_delivery = std::max(last_delivery, now);
+        ++deliveries;
+    }
+};
+
+template <typename Deployment, typename GetInvocation>
+ExperimentResult drive(Deployment& d, sim::Simulation& sim, net::SimNetwork& net,
+                       const ExperimentConfig& cfg, GetInvocation get_invocation) {
+    const int n = cfg.group_size;
+    LatencyTracker tracker;
+
+    for (int i = 0; i < n; ++i) {
+        get_invocation(i).on_delivery([&tracker, &sim](const newtop::Delivery& dl) {
+            tracker.on_delivered(dl.payload, sim.now());
+        });
+    }
+
+    net.reset_stats();
+    for (int k = 0; k < cfg.msgs_per_member; ++k) {
+        for (int i = 0; i < n; ++i) {
+            // Members are staggered across the interval, as independent
+            // applications would be (synchronized bursts are unrealistic and
+            // only measure queue spikes).
+            const TimePoint at = static_cast<TimePoint>(k) * cfg.send_interval +
+                                 (static_cast<TimePoint>(i) * cfg.send_interval) / n;
+            sim.schedule_at(at, [&, i, k] {
+                const auto payload =
+                    make_payload(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(k),
+                                 cfg.payload_size);
+                tracker.on_sent(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(k),
+                                sim.now());
+                get_invocation(i).multicast(cfg.service, payload);
+            });
+        }
+    }
+    sim.run();
+
+    ExperimentResult result;
+    result.mean_latency_ms = tracker.latencies_ms.mean();
+    result.p95_latency_ms = tracker.latencies_ms.percentile(0.95);
+    const double makespan_s =
+        static_cast<double>(tracker.last_delivery - tracker.first_send) / kSecond;
+    const double total_msgs = static_cast<double>(n) * cfg.msgs_per_member;
+    result.throughput_msg_s = makespan_s > 0 ? total_msgs / makespan_s : 0;
+    result.network_messages = net.messages_sent();
+    result.network_bytes = net.bytes_sent();
+    result.expected_deliveries = static_cast<std::uint64_t>(total_msgs) * static_cast<std::uint64_t>(n);
+    result.observed_deliveries = tracker.deliveries;
+    return result;
+}
+
+}  // namespace detail
+
+inline ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+    if (cfg.system == System::kNewTop) {
+        newtop::NewTopOptions opts;
+        opts.group_size = cfg.group_size;
+        opts.threads_per_node = cfg.thread_pool;
+        opts.seed = cfg.seed;
+        newtop::NewTopDeployment d(opts);
+        return detail::drive(d, d.sim(), d.network(), cfg,
+                             [&d](int i) -> newtop::InvocationService& { return d.invocation(i); });
+    }
+    fsnewtop::FsNewTopOptions opts;
+    opts.group_size = cfg.group_size;
+    opts.threads_per_node = cfg.thread_pool;
+    opts.seed = cfg.seed;
+    fsnewtop::FsNewTopDeployment d(opts);
+    auto result = detail::drive(
+        d, d.sim(), d.network(), cfg,
+        [&d](int i) -> newtop::InvocationService& { return d.invocation(i); });
+    for (int i = 0; i < cfg.group_size; ++i) {
+        if (d.leader_fso(i).signalling() || d.follower_fso(i).signalling()) {
+            result.fail_signals = true;
+        }
+    }
+    return result;
+}
+
+/// Prints the standard header used by the figure benches.
+inline void print_header(const char* title, const char* expectation) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("Paper-expected shape: %s\n", expectation);
+    std::printf("================================================================\n");
+}
+
+}  // namespace failsig::bench

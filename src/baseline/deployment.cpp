@@ -1,0 +1,120 @@
+#include "baseline/deployment.hpp"
+
+namespace failsig::baseline {
+
+PbftServant::PbftServant(orb::Orb& orb, const std::string& key,
+                         std::unique_ptr<PbftReplica> replica)
+    : orb_(orb), replica_(std::move(replica)) {
+    self_ref_ = orb_.activate(key, this);
+}
+
+void PbftServant::dispatch(const orb::Request& request) {
+    if (!request.args.is<Bytes>()) return;
+    submit_local(request.operation, request.args.as<Bytes>());
+}
+
+void PbftServant::submit_local(const std::string& operation, Bytes body) {
+    queue_.emplace_back(operation, std::move(body));
+    maybe_run();
+}
+
+void PbftServant::maybe_run() {
+    if (busy_ || queue_.empty()) return;
+    busy_ = true;
+    auto [operation, body] = std::move(queue_.front());
+    queue_.pop_front();
+    const Duration cost = replica_->processing_cost(operation, body);
+    orb_.pool().submit(cost, [this, operation = std::move(operation), body = std::move(body)] {
+        const auto outputs = replica_->process(operation, body);
+        for (const auto& out : outputs) {
+            for (const auto& dest : out.dests) {
+                if (!dest.is_fs) orb_.invoke(dest.ref, out.operation, orb::Any{out.body});
+            }
+        }
+        busy_ = false;
+        maybe_run();
+    });
+}
+
+/// Collects "deliver" upcalls for one replica.
+class PbftDeployment::DeliverySink final : public orb::Servant {
+public:
+    DeliverySink(orb::Orb& orb, const std::string& key, std::vector<std::string>& log)
+        : log_(log) {
+        ref_ = orb.activate(key, this);
+    }
+
+    void dispatch(const orb::Request& request) override {
+        if (request.operation != "deliver" || !request.args.is<Bytes>()) return;
+        auto d = PbftDelivery::decode(request.args.as<Bytes>());
+        if (!d.has_value()) return;
+        log_.push_back(std::to_string(d.value().request.origin) + ":" +
+                       string_of(d.value().request.payload));
+    }
+
+    [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
+
+private:
+    std::vector<std::string>& log_;
+    orb::ObjectRef ref_;
+};
+
+PbftDeployment::PbftDeployment(const PbftOptions& options)
+    : net_(sim_, Rng(options.seed), options.net_params),
+      domain_(sim_, net_, options.costs, options.threads_per_node) {
+    const std::uint32_t n = options.replicas;
+    ensure(n >= 4, "PbftDeployment: need at least 4 replicas");
+
+    delivered_.resize(n);
+    next_origin_seq_.assign(n, 1);
+
+    std::vector<orb::Orb*> orbs;
+    std::vector<orb::ObjectRef> refs(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        orbs.push_back(&domain_.create_orb(node_of(i)));
+        refs[i] = orb::ObjectRef{orbs.back()->endpoint(), "pbft"};
+    }
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        sinks_.push_back(std::make_unique<DeliverySink>(*orbs[i], "app", delivered_[i]));
+
+        PbftConfig cfg;
+        cfg.self = i;
+        cfg.n = n;
+        for (std::uint32_t j = 0; j < n; ++j) {
+            if (j != i) cfg.peers[j] = fs::Destination::plain(refs[j]);
+        }
+        cfg.delivery = fs::Destination::plain(sinks_.back()->ref());
+        cfg.protocol_op_cost = options.costs.gc_protocol_op;
+
+        replicas_.push_back(
+            std::make_unique<PbftServant>(*orbs[i], "pbft", std::make_unique<PbftReplica>(cfg)));
+    }
+}
+
+PbftDeployment::~PbftDeployment() = default;
+
+std::pair<ReplicaId, std::uint64_t> PbftDeployment::submit(ReplicaId at, Bytes payload) {
+    ClientRequest req;
+    req.origin = at;
+    req.origin_seq = next_origin_seq_[at]++;
+    req.payload = std::move(payload);
+    replicas_[at]->submit_local("request", req.encode());
+    return {req.origin, req.origin_seq};
+}
+
+void PbftDeployment::fire_timeouts() {
+    for (auto& servant : replicas_) {
+        ByteWriter w;
+        w.u64(servant->replica().view());
+        servant->submit_local("timeout", w.take());
+    }
+}
+
+PbftReplica& PbftDeployment::replica(ReplicaId r) { return replicas_.at(r)->replica(); }
+
+const std::vector<std::string>& PbftDeployment::delivered(ReplicaId r) const {
+    return delivered_.at(r);
+}
+
+}  // namespace failsig::baseline

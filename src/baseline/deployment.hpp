@@ -1,0 +1,85 @@
+// Simulated deployment of the PBFT-style baseline: n = 3f+1 replicas, one
+// per node, exchanging authenticated messages over the asynchronous network.
+// Used by the AB5 ablation bench and the baseline tests.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "baseline/pbft.hpp"
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+
+namespace failsig::baseline {
+
+struct PbftOptions {
+    std::uint32_t replicas{4};
+    int threads_per_node{10};
+    std::uint64_t seed{1};
+    sim::CostModel costs{};
+    net::AsyncLinkParams net_params{};
+};
+
+/// Hosts one PbftReplica as an ORB servant with serialized execution and
+/// per-input CPU cost — the baseline's equivalent of newtop::GcServant.
+class PbftServant final : public orb::Servant {
+public:
+    PbftServant(orb::Orb& orb, const std::string& key, std::unique_ptr<PbftReplica> replica);
+
+    void dispatch(const orb::Request& request) override;
+    void submit_local(const std::string& operation, Bytes body);
+
+    [[nodiscard]] PbftReplica& replica() { return *replica_; }
+    [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+
+private:
+    void maybe_run();
+
+    orb::Orb& orb_;
+    std::unique_ptr<PbftReplica> replica_;
+    orb::ObjectRef self_ref_;
+    std::deque<std::pair<std::string, Bytes>> queue_;
+    bool busy_{false};
+};
+
+class PbftDeployment {
+public:
+    explicit PbftDeployment(const PbftOptions& options);
+    ~PbftDeployment();  // out of line: DeliverySink is incomplete here
+
+    PbftDeployment(const PbftDeployment&) = delete;
+    PbftDeployment& operator=(const PbftDeployment&) = delete;
+
+    [[nodiscard]] sim::Simulation& sim() { return sim_; }
+    [[nodiscard]] net::SimNetwork& network() { return net_; }
+    [[nodiscard]] std::uint32_t replica_count() const {
+        return static_cast<std::uint32_t>(replicas_.size());
+    }
+
+    /// Submits a request at replica `at` and returns its (origin, seq) key.
+    std::pair<ReplicaId, std::uint64_t> submit(ReplicaId at, Bytes payload);
+
+    /// Fires the view-change timeout input at every replica (the liveness
+    /// escape hatch when the primary is silent).
+    void fire_timeouts();
+
+    [[nodiscard]] PbftReplica& replica(ReplicaId r);
+    /// Delivered (seq -> "origin:payload") log observed at replica r.
+    [[nodiscard]] const std::vector<std::string>& delivered(ReplicaId r) const;
+    [[nodiscard]] NodeId node_of(ReplicaId r) const {
+        return NodeId{static_cast<std::uint32_t>(r + 1)};
+    }
+
+private:
+    class DeliverySink;
+
+    sim::Simulation sim_;
+    net::SimNetwork net_;
+    orb::OrbDomain domain_;
+    std::vector<std::unique_ptr<PbftServant>> replicas_;
+    std::vector<std::unique_ptr<DeliverySink>> sinks_;
+    std::vector<std::vector<std::string>> delivered_;
+    std::vector<std::uint64_t> next_origin_seq_;
+};
+
+}  // namespace failsig::baseline

@@ -1,0 +1,336 @@
+#include "baseline/pbft.hpp"
+
+#include "crypto/md5.hpp"
+
+namespace failsig::baseline {
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+Bytes ClientRequest::encode() const {
+    ByteWriter w;
+    w.u32(origin);
+    w.u64(origin_seq);
+    w.bytes(payload);
+    return w.take();
+}
+
+Result<ClientRequest> ClientRequest::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        ClientRequest req;
+        req.origin = r.u32();
+        req.origin_seq = r.u64();
+        req.payload = r.bytes();
+        if (!r.done()) return Result<ClientRequest>::err("trailing bytes");
+        return req;
+    } catch (const std::out_of_range&) {
+        return Result<ClientRequest>::err("truncated ClientRequest");
+    }
+}
+
+Bytes PbftMessage::encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(sender);
+    w.u64(view);
+    w.u64(seq);
+    w.bytes(digest);
+    w.bytes(request.encode());
+    return w.take();
+}
+
+Result<PbftMessage> PbftMessage::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        PbftMessage m;
+        const auto kind_raw = r.u8();
+        if (kind_raw < 1 || kind_raw > 5) return Result<PbftMessage>::err("bad PbftKind");
+        m.kind = static_cast<PbftKind>(kind_raw);
+        m.sender = r.u32();
+        m.view = r.u64();
+        m.seq = r.u64();
+        m.digest = r.bytes();
+        const Bytes req_wire = r.bytes();
+        auto req = ClientRequest::decode(req_wire);
+        if (!req.has_value()) return Result<PbftMessage>::err(req.error().message);
+        m.request = std::move(req).value();
+        if (!r.done()) return Result<PbftMessage>::err("trailing bytes");
+        return m;
+    } catch (const std::out_of_range&) {
+        return Result<PbftMessage>::err("truncated PbftMessage");
+    }
+}
+
+Bytes PbftDelivery::encode() const {
+    ByteWriter w;
+    w.u64(seq);
+    w.bytes(request.encode());
+    return w.take();
+}
+
+Result<PbftDelivery> PbftDelivery::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        PbftDelivery d;
+        d.seq = r.u64();
+        const Bytes req_wire = r.bytes();
+        auto req = ClientRequest::decode(req_wire);
+        if (!req.has_value()) return Result<PbftDelivery>::err(req.error().message);
+        d.request = std::move(req).value();
+        return d;
+    } catch (const std::out_of_range&) {
+        return Result<PbftDelivery>::err("truncated PbftDelivery");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+PbftReplica::PbftReplica(PbftConfig config) : cfg_(std::move(config)) {
+    ensure(cfg_.n >= 4, "PBFT baseline needs n >= 4 (3f+1 with f >= 1)");
+}
+
+Duration PbftReplica::processing_cost(const std::string& operation, const Bytes& body) const {
+    (void)operation;
+    return cfg_.protocol_op_cost + static_cast<Duration>(body.size()) / 100;
+}
+
+std::vector<fs::Outbound> PbftReplica::process(const std::string& operation, const Bytes& body) {
+    Out out;
+    if (operation == "request") {
+        auto req = ClientRequest::decode(body);
+        if (req.has_value()) on_request(req.value(), out);
+    } else if (operation == "pbft") {
+        auto msg = PbftMessage::decode(body);
+        if (msg.has_value()) on_pbft(msg.value(), out);
+    } else if (operation == "timeout") {
+        if (body.size() == 8) {
+            ByteReader r(body);
+            on_timeout(r.u64(), out);
+        }
+    }
+    return out;
+}
+
+void PbftReplica::on_request(const ClientRequest& request, Out& out) {
+    if (!seen_requests_.insert({request.origin, request.origin_seq}).second) return;
+    if (is_primary()) {
+        assign_and_prepreprepare(request, out);
+    } else {
+        // Keep a copy so a timeout/view change can re-propose, and broadcast
+        // the request to every replica (the PBFT client fallback path) so
+        // all of them hold liveness evidence against a silent primary.
+        pending_.push_back(request);
+        PbftMessage relay;
+        relay.kind = PbftKind::kPrePrepare;  // reused as a forwarded request
+        relay.sender = cfg_.self;
+        relay.view = view_;
+        relay.request = request;
+        broadcast(relay, out);
+    }
+}
+
+void PbftReplica::assign_and_prepreprepare(const ClientRequest& request, Out& out) {
+    const std::uint64_t seq = next_assign_++;
+    PbftMessage pp;
+    pp.kind = PbftKind::kPrePrepare;
+    pp.sender = cfg_.self;
+    pp.view = view_;
+    pp.seq = seq;
+    pp.request = request;
+    pp.digest = crypto::md5(request.encode());
+    broadcast(pp, out);
+
+    Slot& slot = slots_[seq];
+    slot.pre_prepared = true;
+    slot.request = request;
+    slot.digest = pp.digest;
+    slot.prepares.insert(cfg_.self);
+    maybe_prepare(seq, out);
+}
+
+void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
+    switch (msg.kind) {
+        case PbftKind::kPrePrepare: {
+            if (msg.sender != primary()) {
+                // A forwarded request from a non-primary replica.
+                if (!seen_requests_.insert({msg.request.origin, msg.request.origin_seq}).second) {
+                    return;
+                }
+                if (is_primary()) {
+                    assign_and_prepreprepare(msg.request, out);
+                } else {
+                    pending_.push_back(msg.request);  // liveness evidence
+                }
+                return;
+            }
+            if (msg.view != view_) return;
+            Slot& slot = slots_[msg.seq];
+            if (slot.pre_prepared && slot.digest != msg.digest) return;  // equivocation
+            slot.pre_prepared = true;
+            slot.request = msg.request;
+            slot.digest = msg.digest;
+            slot.prepares.insert(msg.sender);
+            slot.prepares.insert(cfg_.self);
+
+            PbftMessage prep;
+            prep.kind = PbftKind::kPrepare;
+            prep.sender = cfg_.self;
+            prep.view = view_;
+            prep.seq = msg.seq;
+            prep.digest = msg.digest;
+            broadcast(prep, out);
+            maybe_prepare(msg.seq, out);
+            break;
+        }
+        case PbftKind::kPrepare: {
+            if (msg.view != view_) return;
+            Slot& slot = slots_[msg.seq];
+            if (slot.pre_prepared && slot.digest != msg.digest) return;
+            slot.prepares.insert(msg.sender);
+            maybe_prepare(msg.seq, out);
+            break;
+        }
+        case PbftKind::kCommit: {
+            if (msg.view != view_) return;
+            Slot& slot = slots_[msg.seq];
+            slot.commits.insert(msg.sender);
+            maybe_commit(msg.seq, out);
+            break;
+        }
+        case PbftKind::kViewChange: {
+            if (msg.view <= view_) return;
+            auto& votes = view_change_votes_[msg.view];
+            votes.insert(msg.sender);
+            // Join rule: once f+1 replicas demand the view change, follow
+            // them even without local timeout evidence.
+            if (!votes.contains(cfg_.self) && votes.size() >= f() + 1) {
+                votes.insert(cfg_.self);
+                PbftMessage vc;
+                vc.kind = PbftKind::kViewChange;
+                vc.sender = cfg_.self;
+                vc.view = msg.view;
+                broadcast(vc, out);
+            }
+            if (votes.size() >= 2 * f() + 1 && msg.view > view_) {
+                view_ = msg.view;
+                ++view_changes_;
+                if (is_primary()) {
+                    PbftMessage nv;
+                    nv.kind = PbftKind::kNewView;
+                    nv.sender = cfg_.self;
+                    nv.view = view_;
+                    broadcast(nv, out);
+                    // Re-propose everything we know about but have not
+                    // delivered (simplified new-view).
+                    for (const auto& req : pending_) {
+                        assign_and_prepreprepare(req, out);
+                    }
+                    pending_.clear();
+                }
+            }
+            break;
+        }
+        case PbftKind::kNewView: {
+            if (msg.view > view_ &&
+                msg.sender == static_cast<ReplicaId>(msg.view % cfg_.n)) {
+                view_ = msg.view;
+                ++view_changes_;
+                // Resend pending requests to the new primary.
+                for (const auto& req : pending_) {
+                    PbftMessage relay;
+                    relay.kind = PbftKind::kPrePrepare;
+                    relay.sender = cfg_.self;
+                    relay.view = view_;
+                    relay.request = req;
+                    send_to(primary(), relay, out);
+                }
+            }
+            break;
+        }
+    }
+}
+
+void PbftReplica::on_timeout(std::uint64_t view, Out& out) {
+    // Liveness dependence: progress stalls until this timeout elects view+1.
+    if (view != view_) return;  // stale timer
+    if (next_deliver_ >= next_assign_ && pending_.empty()) return;  // no work stuck
+    PbftMessage vc;
+    vc.kind = PbftKind::kViewChange;
+    vc.sender = cfg_.self;
+    vc.view = view_ + 1;
+    broadcast(vc, out);
+    view_change_votes_[vc.view].insert(cfg_.self);
+}
+
+void PbftReplica::maybe_prepare(std::uint64_t seq, Out& out) {
+    Slot& slot = slots_[seq];
+    // Prepared: pre-prepare + 2f matching prepares.
+    if (!slot.pre_prepared || slot.committed) return;
+    if (slot.prepares.size() < 2 * f() + 1) return;
+    slot.committed = true;  // "prepared" certificate reached; emit commit
+    slot.commits.insert(cfg_.self);
+
+    PbftMessage commit;
+    commit.kind = PbftKind::kCommit;
+    commit.sender = cfg_.self;
+    commit.view = view_;
+    commit.seq = seq;
+    commit.digest = slot.digest;
+    broadcast(commit, out);
+    maybe_commit(seq, out);
+}
+
+void PbftReplica::maybe_commit(std::uint64_t seq, Out& out) {
+    Slot& slot = slots_[seq];
+    if (!slot.committed || slot.delivered) return;
+    if (slot.commits.size() < 2 * f() + 1) return;
+    try_deliver(out);
+}
+
+void PbftReplica::try_deliver(Out& out) {
+    while (true) {
+        const auto it = slots_.find(next_deliver_);
+        if (it == slots_.end()) break;
+        Slot& slot = it->second;
+        if (!slot.committed || slot.commits.size() < 2 * f() + 1 || !slot.pre_prepared) break;
+        if (!slot.delivered) {
+            slot.delivered = true;
+            deliver(next_deliver_, slot.request, out);
+        }
+        ++next_deliver_;
+    }
+}
+
+void PbftReplica::deliver(std::uint64_t seq, const ClientRequest& request, Out& out) {
+    ++delivered_count_;
+    // Retire the request from the pending backlog (it is now ordered).
+    std::erase_if(pending_, [&](const ClientRequest& r) {
+        return r.origin == request.origin && r.origin_seq == request.origin_seq;
+    });
+    PbftDelivery d;
+    d.seq = seq;
+    d.request = request;
+    out.emplace_back(cfg_.delivery, "deliver", d.encode());
+}
+
+void PbftReplica::broadcast(const PbftMessage& msg, Out& out) {
+    fs::Outbound o;
+    o.operation = "pbft";
+    o.body = msg.encode();
+    for (const auto& [r, dest] : cfg_.peers) {
+        if (r != cfg_.self) o.dests.push_back(dest);
+    }
+    if (!o.dests.empty()) out.push_back(std::move(o));
+}
+
+void PbftReplica::send_to(ReplicaId r, const PbftMessage& msg, Out& out) {
+    const auto it = cfg_.peers.find(r);
+    if (it == cfg_.peers.end()) return;
+    out.emplace_back(it->second, "pbft", msg.encode());
+}
+
+}  // namespace failsig::baseline

@@ -1,0 +1,128 @@
+// Baseline comparator: a from-scratch authenticated-Byzantine total-order
+// protocol in the style the paper contrasts itself against ([CL99] and the
+// class of protocols it cites in §1): 3f+1 replicas, primary-assigned
+// sequence numbers, and a three-phase exchange (pre-prepare, prepare,
+// commit) with quorum 2f+1. Unlike the fail-signal approach it
+//  * needs at least one extra communication round over a crash-tolerant
+//    sequencer protocol, and
+//  * relies on a *liveness* condition for termination: if the primary is
+//    silent, progress resumes only after a timeout-triggered view change —
+//    exactly the speculative-timeout dependence FS-NewTOP removes.
+//
+// The replica is a deterministic state machine (same style as
+// newtop::GcService) so it can be driven by the simulator or in-memory.
+// Input operations:
+//   "request"  body = ClientRequest        (from the local application)
+//   "pbft"     body = PbftMessage          (from a peer replica)
+//   "timeout"  body = u64 view number      (liveness timer fired)
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "fs/service.hpp"
+#include "orb/request.hpp"
+
+namespace failsig::baseline {
+
+using ReplicaId = std::uint32_t;
+
+enum class PbftKind : std::uint8_t {
+    kPrePrepare = 1,
+    kPrepare = 2,
+    kCommit = 3,
+    kViewChange = 4,
+    kNewView = 5,
+};
+
+struct ClientRequest {
+    ReplicaId origin{0};
+    std::uint64_t origin_seq{0};
+    Bytes payload;
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<ClientRequest> decode(std::span<const std::uint8_t> data);
+    friend bool operator==(const ClientRequest&, const ClientRequest&) = default;
+};
+
+struct PbftMessage {
+    PbftKind kind{PbftKind::kPrePrepare};
+    ReplicaId sender{0};
+    std::uint64_t view{0};
+    std::uint64_t seq{0};
+    Bytes digest;            ///< MD5 of the request (binds phases together)
+    ClientRequest request;   ///< carried in pre-prepare only
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<PbftMessage> decode(std::span<const std::uint8_t> data);
+};
+
+struct PbftConfig {
+    ReplicaId self{0};
+    std::uint32_t n{4};  ///< total replicas; tolerates f = (n-1)/3 faults
+    std::map<ReplicaId, fs::Destination> peers;
+    fs::Destination delivery;
+    Duration protocol_op_cost{120 * kMicrosecond};
+};
+
+/// What a replica hands to the application on commit.
+struct PbftDelivery {
+    std::uint64_t seq{0};
+    ClientRequest request;
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<PbftDelivery> decode(std::span<const std::uint8_t> data);
+};
+
+class PbftReplica final : public fs::DeterministicService {
+public:
+    explicit PbftReplica(PbftConfig config);
+
+    std::vector<fs::Outbound> process(const std::string& operation, const Bytes& body) override;
+    [[nodiscard]] Duration processing_cost(const std::string& operation,
+                                           const Bytes& body) const override;
+
+    [[nodiscard]] std::uint64_t view() const { return view_; }
+    [[nodiscard]] ReplicaId primary() const { return static_cast<ReplicaId>(view_ % cfg_.n); }
+    [[nodiscard]] bool is_primary() const { return primary() == cfg_.self; }
+    [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+    [[nodiscard]] std::uint32_t f() const { return (cfg_.n - 1) / 3; }
+    [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
+
+private:
+    using Out = std::vector<fs::Outbound>;
+
+    struct Slot {
+        bool pre_prepared{false};
+        ClientRequest request;
+        Bytes digest;
+        std::set<ReplicaId> prepares;
+        std::set<ReplicaId> commits;
+        bool committed{false};
+        bool delivered{false};
+    };
+
+    void on_request(const ClientRequest& request, Out& out);
+    void on_pbft(const PbftMessage& msg, Out& out);
+    void on_timeout(std::uint64_t view, Out& out);
+    void assign_and_prepreprepare(const ClientRequest& request, Out& out);
+    void maybe_prepare(std::uint64_t seq, Out& out);
+    void maybe_commit(std::uint64_t seq, Out& out);
+    void try_deliver(Out& out);
+    void broadcast(const PbftMessage& msg, Out& out);
+    void send_to(ReplicaId r, const PbftMessage& msg, Out& out);
+    void deliver(std::uint64_t seq, const ClientRequest& request, Out& out);
+
+    PbftConfig cfg_;
+    std::uint64_t view_{0};
+    std::uint64_t next_assign_{1};
+    std::uint64_t next_deliver_{1};
+    std::map<std::uint64_t, Slot> slots_;  // keyed by seq (single view history)
+    std::set<std::pair<ReplicaId, std::uint64_t>> seen_requests_;
+    std::vector<ClientRequest> pending_;   // awaiting assignment (non-primary backlog)
+    std::map<std::uint64_t, std::set<ReplicaId>> view_change_votes_;
+    std::uint64_t delivered_count_{0};
+    std::uint64_t view_changes_{0};
+};
+
+}  // namespace failsig::baseline

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace failsig {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+    if (level < g_level) return;
+    std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+}
+
+LogStream::~LogStream() {
+    if (level_ >= log_level()) log_line(level_, component_, ss_.str());
+}
+
+}  // namespace failsig

@@ -1,0 +1,38 @@
+// Tiny leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the protocols are doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace failsig {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+/// Stream-style helper: LogStream(LogLevel::kInfo, "fso")() << "hello";
+class LogStream {
+public:
+    LogStream(LogLevel level, std::string component)
+        : level_(level), component_(std::move(component)) {}
+    ~LogStream();
+
+    template <typename T>
+    LogStream& operator<<(const T& v) {
+        if (level_ >= log_level()) ss_ << v;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream ss_;
+};
+
+}  // namespace failsig

@@ -1,0 +1,53 @@
+// Minimal expected-style result type (std::expected is C++23; we target C++20).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace failsig {
+
+/// Error payload carried by Result.
+struct Error {
+    std::string message;
+};
+
+/// Either a value or an Error. Used at API boundaries where failure is an
+/// expected outcome (signature rejection, malformed wire data) rather than a
+/// programming bug.
+template <typename T>
+class Result {
+public:
+    Result(T value) : v_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+    Result(Error error) : v_(std::move(error)) {}             // NOLINT(google-explicit-constructor)
+
+    static Result ok(T value) { return Result(std::move(value)); }
+    static Result err(std::string message) { return Result(Error{std::move(message)}); }
+
+    [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return has_value(); }
+
+    [[nodiscard]] const T& value() const& {
+        if (!has_value()) throw std::runtime_error("Result::value on error: " + error().message);
+        return std::get<T>(v_);
+    }
+    [[nodiscard]] T&& value() && {
+        if (!has_value()) throw std::runtime_error("Result::value on error: " + error().message);
+        return std::get<T>(std::move(v_));
+    }
+    [[nodiscard]] const Error& error() const {
+        return std::get<Error>(v_);
+    }
+
+private:
+    std::variant<T, Error> v_;
+};
+
+/// Throws std::logic_error when `condition` is false. Used for internal
+/// invariants (never for validating untrusted wire input).
+inline void ensure(bool condition, const char* message) {
+    if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace failsig

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (network jitter, fault timing,
+// workload arrival) draws from an explicitly seeded `Rng` so that every
+// experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace failsig {
+
+/// xoshiro256** generator. Small, fast, and good enough for simulation;
+/// NOT for cryptographic use (crypto keygen uses it only in tests/benches
+/// where reproducibility is the point).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next();
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform real in [0, 1).
+    double uniform01();
+
+    /// Exponentially distributed value with the given mean.
+    double exponential(double mean);
+
+    /// Bernoulli trial.
+    bool chance(double probability);
+
+    /// Derives an independent stream (for per-node generators).
+    Rng split();
+
+private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace failsig

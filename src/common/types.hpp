@@ -1,0 +1,62 @@
+// Fundamental identifier and time types shared by every failsig module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace failsig {
+
+/// Identifies a physical node (host) in a deployment.
+struct NodeId {
+    std::uint32_t value{0};
+
+    friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+/// Identifies a communication endpoint (port) within a node.
+struct PortId {
+    std::uint32_t value{0};
+
+    friend auto operator<=>(const PortId&, const PortId&) = default;
+};
+
+/// A (node, port) pair — the address of a message handler.
+struct Endpoint {
+    NodeId node;
+    PortId port;
+
+    friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Simulated time, in microseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// Simulated duration, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+inline std::string to_string(NodeId id) { return "n" + std::to_string(id.value); }
+inline std::string to_string(PortId id) { return "p" + std::to_string(id.value); }
+inline std::string to_string(Endpoint e) {
+    return to_string(e.node) + ":" + to_string(e.port);
+}
+
+}  // namespace failsig
+
+template <>
+struct std::hash<failsig::NodeId> {
+    std::size_t operator()(const failsig::NodeId& id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};
+
+template <>
+struct std::hash<failsig::Endpoint> {
+    std::size_t operator()(const failsig::Endpoint& e) const noexcept {
+        return (static_cast<std::size_t>(e.node.value) << 32) ^ e.port.value;
+    }
+};

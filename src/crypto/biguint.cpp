@@ -1,0 +1,368 @@
+#include "crypto/biguint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace failsig::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigUint::BigUint(u64 v) {
+    if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::normalize() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes_be(std::span<const std::uint8_t> data) {
+    BigUint out;
+    out.limbs_.assign((data.size() + 7) / 8, 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        // byte i (big-endian) contributes to bit position 8*(size-1-i)
+        const std::size_t bit_pos = 8 * (data.size() - 1 - i);
+        out.limbs_[bit_pos / 64] |= static_cast<u64>(data[i]) << (bit_pos % 64);
+    }
+    out.normalize();
+    return out;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+    std::string padded(hex);
+    if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+    return from_bytes_be(failsig::from_hex(padded));
+}
+
+Bytes BigUint::to_bytes_be(std::size_t min_size) const {
+    const std::size_t nbytes = std::max<std::size_t>(min_size, (bit_length() + 7) / 8);
+    Bytes out(std::max<std::size_t>(nbytes, 1), 0);
+    if (is_zero()) {
+        if (out.size() < min_size) out.assign(min_size, 0);
+        return out;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::size_t bit_pos = 8 * (out.size() - 1 - i);
+        const std::size_t limb_idx = bit_pos / 64;
+        if (limb_idx < limbs_.size()) {
+            out[i] = static_cast<std::uint8_t>(limbs_[limb_idx] >> (bit_pos % 64));
+        }
+    }
+    return out;
+}
+
+std::string BigUint::to_hex() const {
+    if (is_zero()) return "0";
+    auto s = failsig::to_hex(to_bytes_be());
+    const auto first = s.find_first_not_of('0');
+    return s.substr(first);
+}
+
+std::size_t BigUint::bit_length() const {
+    if (limbs_.empty()) return 0;
+    const u64 top = limbs_.back();
+    std::size_t bits = (limbs_.size() - 1) * 64;
+    return bits + (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigUint::bit(std::size_t i) const {
+    const std::size_t limb_idx = i / 64;
+    if (limb_idx >= limbs_.size()) return false;
+    return (limbs_[limb_idx] >> (i % 64)) & 1;
+}
+
+std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
+    if (a.limbs_.size() != b.limbs_.size()) {
+        return a.limbs_.size() <=> b.limbs_.size();
+    }
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+}
+
+BigUint operator+(const BigUint& a, const BigUint& b) {
+    BigUint out;
+    const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    out.limbs_.reserve(n + 1);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(a.limb(i)) + b.limb(i) + carry;
+        out.limbs_.push_back(static_cast<u64>(sum));
+        carry = static_cast<u64>(sum >> 64);
+    }
+    if (carry) out.limbs_.push_back(carry);
+    return out;
+}
+
+BigUint operator-(const BigUint& a, const BigUint& b) {
+    if (a < b) throw std::underflow_error("BigUint subtraction underflow");
+    BigUint out;
+    out.limbs_.reserve(a.limbs_.size());
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        const u64 bi = b.limb(i);
+        const u64 ai = a.limbs_[i];
+        const u64 d1 = ai - bi;
+        const u64 borrow1 = ai < bi;
+        const u64 d2 = d1 - borrow;
+        const u64 borrow2 = d1 < borrow;
+        out.limbs_.push_back(d2);
+        borrow = borrow1 | borrow2;
+    }
+    out.normalize();
+    return out;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+    if (a.is_zero() || b.is_zero()) return BigUint{};
+    BigUint out;
+    out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+            const u128 cur = static_cast<u128>(out.limbs_[i + j]) +
+                             static_cast<u128>(a.limbs_[i]) * b.limbs_[j] + carry;
+            out.limbs_[i + j] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+        }
+        out.limbs_[i + b.limbs_.size()] += carry;
+    }
+    out.normalize();
+    return out;
+}
+
+BigUint operator<<(const BigUint& a, std::size_t bits) {
+    if (a.is_zero() || bits == 0) {
+        BigUint out = a;
+        return out;
+    }
+    const std::size_t limb_shift = bits / 64;
+    const std::size_t bit_shift = bits % 64;
+    BigUint out;
+    out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        out.limbs_[i + limb_shift] |= a.limbs_[i] << bit_shift;
+        if (bit_shift != 0) {
+            out.limbs_[i + limb_shift + 1] |= a.limbs_[i] >> (64 - bit_shift);
+        }
+    }
+    out.normalize();
+    return out;
+}
+
+BigUint operator>>(const BigUint& a, std::size_t bits) {
+    const std::size_t limb_shift = bits / 64;
+    if (limb_shift >= a.limbs_.size()) return BigUint{};
+    const std::size_t bit_shift = bits % 64;
+    BigUint out;
+    out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+        out.limbs_[i] = a.limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+            out.limbs_[i] |= a.limbs_[i + limb_shift + 1] << (64 - bit_shift);
+        }
+    }
+    out.normalize();
+    return out;
+}
+
+BigUint BigUint::mod(const BigUint& m) const { return divmod(m).remainder; }
+
+BigUintDivMod BigUint::divmod(const BigUint& divisor) const {
+    if (divisor.is_zero()) throw std::domain_error("BigUint divide by zero");
+    if (*this < divisor) return {BigUint{}, *this};
+
+    const std::size_t total_bits = bit_length();
+    BigUint quotient;
+    quotient.limbs_.assign((total_bits + 63) / 64, 0);
+    BigUint remainder;
+    remainder.limbs_.reserve(divisor.limbs_.size() + 1);
+
+    for (std::size_t i = total_bits; i-- > 0;) {
+        // remainder = (remainder << 1) | bit(i), in place.
+        u64 carry = bit(i) ? 1 : 0;
+        for (auto& limb : remainder.limbs_) {
+            const u64 next_carry = limb >> 63;
+            limb = (limb << 1) | carry;
+            carry = next_carry;
+        }
+        if (carry) remainder.limbs_.push_back(carry);
+
+        if (remainder >= divisor) {
+            remainder = remainder - divisor;
+            quotient.limbs_[i / 64] |= (u64{1} << (i % 64));
+        }
+    }
+    quotient.normalize();
+    remainder.normalize();
+    return {std::move(quotient), std::move(remainder)};
+}
+
+BigUint mod_inverse(const BigUint& a, const BigUint& m) {
+    // Extended Euclid with sign tracking on the Bezout coefficient for `a`.
+    BigUint old_r = m;
+    BigUint r = a.mod(m);
+    BigUint old_t{};  // coefficient of a producing old_r
+    bool old_t_neg = false;
+    BigUint t{1};
+    bool t_neg = false;
+
+    while (!r.is_zero()) {
+        const auto [q, rem] = old_r.divmod(r);
+        old_r = r;
+        r = rem;
+
+        // new_t = old_t - q * t (signed)
+        const BigUint qt = q * t;
+        BigUint new_t;
+        bool new_t_neg;
+        if (old_t_neg == t_neg) {
+            // same sign: old_t - q*t may flip sign
+            if (old_t >= qt) {
+                new_t = old_t - qt;
+                new_t_neg = old_t_neg;
+            } else {
+                new_t = qt - old_t;
+                new_t_neg = !old_t_neg;
+            }
+        } else {
+            new_t = old_t + qt;
+            new_t_neg = old_t_neg;
+        }
+        old_t = t;
+        old_t_neg = t_neg;
+        t = std::move(new_t);
+        t_neg = new_t_neg;
+    }
+
+    if (!(old_r == BigUint{1})) throw std::domain_error("mod_inverse: not coprime");
+    BigUint result = old_t.mod(m);
+    if (old_t_neg && !result.is_zero()) result = m - result;
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(BigUint modulus) : n_(std::move(modulus)) {
+    if (!n_.is_odd() || n_ <= BigUint{1}) {
+        throw std::domain_error("Montgomery: modulus must be odd and > 1");
+    }
+    const std::size_t k = n_.limb_count();
+    n_limbs_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) n_limbs_[i] = n_.limb(i);
+
+    // n0inv = -n^{-1} mod 2^64 via Newton iteration.
+    u64 inv = 1;
+    const u64 n0 = n_limbs_[0];
+    for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+    n0inv_ = ~inv + 1;  // negate mod 2^64
+
+    const BigUint r = BigUint{1} << (64 * k);
+    r1_ = to_limbs(r.mod(n_));
+    r2_ = to_limbs((r * r).mod(n_));
+}
+
+Montgomery::Limbs Montgomery::to_limbs(const BigUint& v) const {
+    Limbs out(n_.limb_count(), 0);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = v.limb(i);
+    return out;
+}
+
+BigUint Montgomery::from_limbs(const Limbs& v) const {
+    Bytes be(v.size() * 8, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        for (std::size_t b = 0; b < 8; ++b) {
+            be[be.size() - 1 - (i * 8 + b)] = static_cast<std::uint8_t>(v[i] >> (8 * b));
+        }
+    }
+    return BigUint::from_bytes_be(be);
+}
+
+Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
+    const std::size_t k = n_limbs_.size();
+    Limbs t(k + 2, 0);
+
+    for (std::size_t i = 0; i < k; ++i) {
+        // t += a[i] * b
+        u64 carry = 0;
+        for (std::size_t j = 0; j < k; ++j) {
+            const u128 cur = static_cast<u128>(t[j]) + static_cast<u128>(a[i]) * b[j] + carry;
+            t[j] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+        }
+        u128 cur = static_cast<u128>(t[k]) + carry;
+        t[k] = static_cast<u64>(cur);
+        t[k + 1] = static_cast<u64>(cur >> 64);
+
+        // reduce: add m * n where m makes t[0] vanish, then shift down one limb
+        const u64 m = t[0] * n0inv_;
+        cur = static_cast<u128>(t[0]) + static_cast<u128>(m) * n_limbs_[0];
+        carry = static_cast<u64>(cur >> 64);
+        for (std::size_t j = 1; j < k; ++j) {
+            cur = static_cast<u128>(t[j]) + static_cast<u128>(m) * n_limbs_[j] + carry;
+            t[j - 1] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+        }
+        cur = static_cast<u128>(t[k]) + carry;
+        t[k - 1] = static_cast<u64>(cur);
+        t[k] = t[k + 1] + static_cast<u64>(cur >> 64);
+        t[k + 1] = 0;
+    }
+
+    // Conditional final subtraction: result may be in [0, 2n).
+    bool ge = t[k] != 0;
+    if (!ge) {
+        ge = true;
+        for (std::size_t i = k; i-- > 0;) {
+            if (t[i] != n_limbs_[i]) {
+                ge = t[i] > n_limbs_[i];
+                break;
+            }
+        }
+    }
+    Limbs out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+    if (ge) {
+        u64 borrow = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const u64 d1 = out[i] - n_limbs_[i];
+            const u64 b1 = out[i] < n_limbs_[i];
+            const u64 d2 = d1 - borrow;
+            const u64 b2 = d1 < borrow;
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+    }
+    return out;
+}
+
+BigUint Montgomery::modexp(const BigUint& base, const BigUint& exponent) const {
+    const BigUint b = base.mod(n_);
+    if (exponent.is_zero()) return BigUint{1}.mod(n_);
+
+    Limbs acc = r1_;                              // 1 in Montgomery form
+    const Limbs bm = mont_mul(to_limbs(b), r2_);  // base in Montgomery form
+
+    for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+        acc = mont_mul(acc, acc);
+        if (exponent.bit(i)) acc = mont_mul(acc, bm);
+    }
+
+    // Convert out of Montgomery form: multiply by 1.
+    Limbs one(n_limbs_.size(), 0);
+    one[0] = 1;
+    return from_limbs(mont_mul(acc, one));
+}
+
+BigUint Montgomery::modmul(const BigUint& a, const BigUint& b) const {
+    const Limbs am = mont_mul(to_limbs(a.mod(n_)), r2_);
+    const Limbs bm = mont_mul(to_limbs(b.mod(n_)), r2_);
+    const Limbs prod = mont_mul(am, bm);
+    Limbs one(n_limbs_.size(), 0);
+    one[0] = 1;
+    return from_limbs(mont_mul(prod, one));
+}
+
+}  // namespace failsig::crypto

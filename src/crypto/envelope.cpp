@@ -1,0 +1,70 @@
+#include "crypto/envelope.hpp"
+
+namespace failsig::crypto {
+
+Bytes SignedEnvelope::signed_region(std::size_t index) const {
+    ByteWriter w;
+    w.bytes(payload_);
+    w.u32(static_cast<std::uint32_t>(index));
+    for (std::size_t i = 0; i < index; ++i) {
+        w.str(signatures_[i].principal);
+        w.bytes(signatures_[i].signature);
+    }
+    return w.take();
+}
+
+void SignedEnvelope::add_signature(const Signer& signer) {
+    const Bytes region = signed_region(signatures_.size());
+    signatures_.push_back(SignatureBlock{signer.principal(), signer.sign(region)});
+}
+
+bool SignedEnvelope::verify_chain(const KeyService& keys) const {
+    for (std::size_t i = 0; i < signatures_.size(); ++i) {
+        const auto& block = signatures_[i];
+        if (!keys.has_principal(block.principal)) return false;
+        const Bytes region = signed_region(i);
+        if (!keys.verifier(block.principal).verify(region, block.signature)) return false;
+    }
+    return true;
+}
+
+bool SignedEnvelope::is_valid_double_signed(const KeyService& keys, const std::string& a,
+                                            const std::string& b) const {
+    if (signatures_.size() != 2) return false;
+    const auto& first = signatures_[0].principal;
+    const auto& second = signatures_[1].principal;
+    const bool order_ok = (first == a && second == b) || (first == b && second == a);
+    return order_ok && verify_chain(keys);
+}
+
+Bytes SignedEnvelope::encode() const {
+    ByteWriter w;
+    w.bytes(payload_);
+    w.u32(static_cast<std::uint32_t>(signatures_.size()));
+    for (const auto& block : signatures_) {
+        w.str(block.principal);
+        w.bytes(block.signature);
+    }
+    return w.take();
+}
+
+Result<SignedEnvelope> SignedEnvelope::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        SignedEnvelope env(r.bytes());
+        const auto count = r.u32();
+        if (count > 16) return Result<SignedEnvelope>::err("implausible signature count");
+        for (std::uint32_t i = 0; i < count; ++i) {
+            SignatureBlock block;
+            block.principal = r.str();
+            block.signature = r.bytes();
+            env.signatures_.push_back(std::move(block));
+        }
+        if (!r.done()) return Result<SignedEnvelope>::err("trailing bytes in envelope");
+        return env;
+    } catch (const std::out_of_range&) {
+        return Result<SignedEnvelope>::err("truncated envelope");
+    }
+}
+
+}  // namespace failsig::crypto

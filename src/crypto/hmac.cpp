@@ -1,0 +1,50 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/md5.hpp"
+#include "crypto/sha256.hpp"
+
+namespace failsig::crypto {
+
+namespace {
+
+template <typename Hasher>
+Bytes hmac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+    constexpr std::size_t kBlock = 64;  // both MD5 and SHA-256 use 64-byte blocks
+
+    Bytes k(kBlock, 0);
+    if (key.size() > kBlock) {
+        const auto kd = Hasher::hash(key);
+        std::copy(kd.begin(), kd.end(), k.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k.begin());
+    }
+
+    Bytes ipad(kBlock), opad(kBlock);
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+
+    Hasher inner;
+    inner.update(ipad);
+    inner.update(data);
+    const auto inner_digest = inner.finish();
+
+    Hasher outer;
+    outer.update(opad);
+    outer.update(std::span(inner_digest.data(), inner_digest.size()));
+    const auto tag = outer.finish();
+    return Bytes(tag.begin(), tag.end());
+}
+
+}  // namespace
+
+Bytes hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+    return hmac<Sha256>(key, data);
+}
+
+Bytes hmac_md5(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+    return hmac<Md5>(key, data);
+}
+
+}  // namespace failsig::crypto

@@ -1,0 +1,100 @@
+#include "crypto/keys.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace failsig::crypto {
+
+namespace {
+
+class RsaSigner final : public Signer {
+public:
+    RsaSigner(std::string principal, RsaPrivateKey key)
+        : principal_(std::move(principal)), key_(std::move(key)) {}
+
+    [[nodiscard]] Bytes sign(std::span<const std::uint8_t> message) const override {
+        return rsa_sign(key_, message, DigestAlgorithm::kMd5);
+    }
+    [[nodiscard]] const std::string& principal() const override { return principal_; }
+
+private:
+    std::string principal_;
+    RsaPrivateKey key_;
+};
+
+class RsaVerifier final : public Verifier {
+public:
+    explicit RsaVerifier(RsaPublicKey key) : key_(std::move(key)) {}
+
+    [[nodiscard]] bool verify(std::span<const std::uint8_t> message,
+                              std::span<const std::uint8_t> signature) const override {
+        return rsa_verify(key_, message, signature, DigestAlgorithm::kMd5);
+    }
+
+private:
+    RsaPublicKey key_;
+};
+
+class HmacSigner final : public Signer {
+public:
+    HmacSigner(std::string principal, Bytes key)
+        : principal_(std::move(principal)), key_(std::move(key)) {}
+
+    [[nodiscard]] Bytes sign(std::span<const std::uint8_t> message) const override {
+        return hmac_sha256(key_, message);
+    }
+    [[nodiscard]] const std::string& principal() const override { return principal_; }
+
+private:
+    std::string principal_;
+    Bytes key_;
+};
+
+class HmacVerifier final : public Verifier {
+public:
+    explicit HmacVerifier(Bytes key) : key_(std::move(key)) {}
+
+    [[nodiscard]] bool verify(std::span<const std::uint8_t> message,
+                              std::span<const std::uint8_t> signature) const override {
+        const Bytes expected = hmac_sha256(key_, message);
+        return constant_time_equal(expected, signature);
+    }
+
+private:
+    Bytes key_;
+};
+
+}  // namespace
+
+KeyService::KeyService(Backend backend, std::size_t rsa_bits, std::uint64_t seed)
+    : backend_(backend), rsa_bits_(rsa_bits), rng_(seed) {}
+
+void KeyService::register_principal(const std::string& name) {
+    if (entries_.contains(name)) return;
+
+    Entry entry;
+    if (backend_ == Backend::kRsa) {
+        auto kp = rsa_generate(rsa_bits_, rng_);
+        entry.signer = std::make_unique<RsaSigner>(name, std::move(kp.priv));
+        entry.verifier = std::make_unique<RsaVerifier>(std::move(kp.pub));
+    } else {
+        Bytes key(32);
+        for (auto& b : key) b = static_cast<std::uint8_t>(rng_.next());
+        entry.signer = std::make_unique<HmacSigner>(name, key);
+        entry.verifier = std::make_unique<HmacVerifier>(key);
+    }
+    entries_.emplace(name, std::move(entry));
+}
+
+const Signer& KeyService::signer(const std::string& name) const {
+    return *entries_.at(name).signer;
+}
+
+const Verifier& KeyService::verifier(const std::string& name) const {
+    return *entries_.at(name).verifier;
+}
+
+bool KeyService::has_principal(const std::string& name) const { return entries_.contains(name); }
+
+}  // namespace failsig::crypto

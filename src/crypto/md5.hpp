@@ -1,0 +1,49 @@
+// MD5 message digest (RFC 1321).
+//
+// The paper's FS-NewTOP signs middleware outputs with "MD5 using RSA
+// encryption" (Java's MD5withRSA). We implement the same digest from scratch
+// so the signature path exercised by the benchmarks is real work, not a stub.
+// MD5 is cryptographically broken for collision resistance; it is kept for
+// fidelity to the paper, and SHA-256 is provided as the modern alternative.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace failsig::crypto {
+
+/// Incremental MD5 hasher.
+class Md5 {
+public:
+    static constexpr std::size_t kDigestSize = 16;
+
+    Md5();
+
+    /// Absorbs more input.
+    void update(std::span<const std::uint8_t> data);
+
+    /// Finalizes and returns the 16-byte digest. The hasher must not be
+    /// reused afterwards without calling reset().
+    std::array<std::uint8_t, kDigestSize> finish();
+
+    void reset();
+
+    /// One-shot convenience.
+    static std::array<std::uint8_t, kDigestSize> hash(std::span<const std::uint8_t> data);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::uint32_t state_[4];
+    std::uint64_t total_len_{0};
+    std::uint8_t buffer_[64];
+    std::size_t buffer_len_{0};
+};
+
+/// One-shot MD5 digest as Bytes.
+Bytes md5(std::span<const std::uint8_t> data);
+
+}  // namespace failsig::crypto

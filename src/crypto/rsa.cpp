@@ -1,0 +1,205 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/md5.hpp"
+#include "crypto/sha256.hpp"
+
+namespace failsig::crypto {
+
+namespace {
+
+// Small primes for fast trial division before Miller-Rabin.
+constexpr std::uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,  59,  61,
+    67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347};
+
+BigUint random_bits(std::size_t bits, Rng& rng) {
+    Bytes bytes((bits + 7) / 8, 0);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    // Clear excess bits, set the top bit so the value has exactly `bits` bits.
+    const std::size_t excess = bytes.size() * 8 - bits;
+    bytes[0] = static_cast<std::uint8_t>(bytes[0] & (0xff >> excess));
+    bytes[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+    return BigUint::from_bytes_be(bytes);
+}
+
+BigUint random_prime(std::size_t bits, Rng& rng) {
+    for (;;) {
+        BigUint candidate = random_bits(bits, rng);
+        // Force odd and set the second-highest bit so that p*q has full width.
+        if (!candidate.is_odd()) candidate = candidate + BigUint{1};
+        if (bits >= 2) {
+            candidate = candidate + (BigUint{1} << (bits - 2));
+            if (candidate.bit_length() > bits) continue;  // rare carry overflow
+        }
+        if (!candidate.is_odd()) candidate = candidate + BigUint{1};
+        if (is_probable_prime(candidate, rng)) return candidate;
+    }
+}
+
+Bytes digest_of(DigestAlgorithm algo, std::span<const std::uint8_t> message) {
+    switch (algo) {
+        case DigestAlgorithm::kMd5: return md5(message);
+        case DigestAlgorithm::kSha256: return sha256(message);
+    }
+    throw std::invalid_argument("unknown digest algorithm");
+}
+
+// EMSA-PKCS1-v1.5-like encoding:
+//   0x00 0x01 FF..FF 0x00 <algo tag byte> <digest>
+Bytes emsa_encode(DigestAlgorithm algo, std::span<const std::uint8_t> digest,
+                  std::size_t em_len) {
+    const std::size_t overhead = 3 + 1;  // 00 01 .. 00 + tag
+    if (em_len < digest.size() + overhead + 8) {
+        throw std::invalid_argument("RSA modulus too small for digest");
+    }
+    Bytes em(em_len, 0xff);
+    em[0] = 0x00;
+    em[1] = 0x01;
+    const std::size_t digest_start = em_len - digest.size();
+    em[digest_start - 2] = 0x00;
+    em[digest_start - 1] = static_cast<std::uint8_t>(algo);
+    std::copy(digest.begin(), digest.end(), em.begin() + static_cast<std::ptrdiff_t>(digest_start));
+    return em;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUint& n, Rng& rng, int rounds) {
+    if (n < BigUint{2}) return false;
+    if (n == BigUint{2} || n == BigUint{3}) return true;
+    if (!n.is_odd()) return false;
+
+    for (const auto p : kSmallPrimes) {
+        const BigUint bp{p};
+        if (n == bp) return true;
+        if (n.mod(bp).is_zero()) return false;
+    }
+
+    // Write n-1 = d * 2^r with d odd.
+    const BigUint n_minus_1 = n - BigUint{1};
+    BigUint d = n_minus_1;
+    std::size_t r = 0;
+    while (!d.is_odd()) {
+        d = d >> 1;
+        ++r;
+    }
+
+    const Montgomery mont(n);
+    const BigUint n_minus_2 = n - BigUint{2};
+
+    for (int round = 0; round < rounds; ++round) {
+        // witness a in [2, n-2]
+        BigUint a;
+        do {
+            a = random_bits(n.bit_length() - 1, rng);
+        } while (a < BigUint{2} || a > n_minus_2);
+
+        BigUint x = mont.modexp(a, d);
+        if (x == BigUint{1} || x == n_minus_1) continue;
+
+        bool composite = true;
+        for (std::size_t i = 0; i + 1 < r; ++i) {
+            x = mont.modmul(x, x);
+            if (x == n_minus_1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) return false;
+    }
+    return true;
+}
+
+RsaKeyPair rsa_generate(std::size_t bits, Rng& rng) {
+    if (bits < 256) throw std::invalid_argument("rsa_generate: need >= 256 bits");
+    const BigUint e{65537};
+
+    for (;;) {
+        const std::size_t p_bits = bits / 2;
+        const std::size_t q_bits = bits - p_bits;
+        const BigUint p = random_prime(p_bits, rng);
+        BigUint q = random_prime(q_bits, rng);
+        if (p == q) continue;
+
+        const BigUint n = p * q;
+        if (n.bit_length() != bits) continue;
+
+        const BigUint p1 = p - BigUint{1};
+        const BigUint q1 = q - BigUint{1};
+        const BigUint phi = p1 * q1;
+
+        BigUint d;
+        try {
+            d = mod_inverse(e, phi);
+        } catch (const std::domain_error&) {
+            continue;  // gcd(e, phi) != 1; re-draw primes
+        }
+
+        RsaPrivateKey priv;
+        priv.n = n;
+        priv.e = e;
+        priv.d = d;
+        priv.p = p;
+        priv.q = q;
+        priv.dp = d.mod(p1);
+        priv.dq = d.mod(q1);
+        priv.qinv = mod_inverse(q, p);
+        priv.bits = bits;
+
+        RsaPublicKey pub;
+        pub.n = n;
+        pub.e = e;
+        pub.bits = bits;
+
+        return RsaKeyPair{std::move(pub), std::move(priv)};
+    }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> message,
+               DigestAlgorithm digest) {
+    const Bytes dg = digest_of(digest, message);
+    const Bytes em = emsa_encode(digest, dg, key.byte_size());
+    const BigUint m = BigUint::from_bytes_be(em);
+    if (m >= key.n) throw std::invalid_argument("rsa_sign: message representative too large");
+
+    // CRT: s1 = m^dp mod p, s2 = m^dq mod q, h = qinv (s1 - s2) mod p,
+    // s = s2 + h q.
+    const Montgomery mp(key.p);
+    const Montgomery mq(key.q);
+    const BigUint s1 = mp.modexp(m, key.dp);
+    const BigUint s2 = mq.modexp(m, key.dq);
+
+    const BigUint s1p = s1.mod(key.p);
+    const BigUint s2p = s2.mod(key.p);
+    const BigUint diff = (s1p >= s2p) ? (s1p - s2p) : (key.p - (s2p - s1p));
+    const BigUint h = mp.modmul(key.qinv, diff);
+    const BigUint s = s2 + h * key.q;
+
+    return s.to_bytes_be(key.byte_size());
+}
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature, DigestAlgorithm digest) {
+    if (signature.size() != key.byte_size()) return false;
+    const BigUint s = BigUint::from_bytes_be(signature);
+    if (s >= key.n) return false;
+
+    const Montgomery mont(key.n);
+    const BigUint m = mont.modexp(s, key.e);
+    const Bytes em = m.to_bytes_be(key.byte_size());
+
+    const Bytes dg = digest_of(digest, message);
+    Bytes expected;
+    try {
+        expected = emsa_encode(digest, dg, key.byte_size());
+    } catch (const std::invalid_argument&) {
+        return false;
+    }
+    return constant_time_equal(em, expected);
+}
+
+}  // namespace failsig::crypto

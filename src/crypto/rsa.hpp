@@ -1,0 +1,66 @@
+// RSA signatures with PKCS#1-v1.5-style padding over MD5 or SHA-256 digests.
+//
+// Reproduces the paper's "MD5 using RSA encryption signature algorithm"
+// (Java MD5withRSA) from scratch: key generation (Miller-Rabin primes),
+// CRT-accelerated signing, and verification. The padding uses a one-byte
+// algorithm tag instead of the full ASN.1 DigestInfo — a documented
+// simplification that preserves the security-relevant structure (fixed
+// padding, unambiguous digest algorithm binding).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/biguint.hpp"
+
+namespace failsig::crypto {
+
+/// Digest algorithm bound into the signature padding.
+enum class DigestAlgorithm : std::uint8_t { kMd5 = 1, kSha256 = 2 };
+
+struct RsaPublicKey {
+    BigUint n;
+    BigUint e;
+    std::size_t bits{0};
+
+    [[nodiscard]] std::size_t byte_size() const { return (bits + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+    BigUint n;
+    BigUint e;
+    BigUint d;
+    // CRT components (p > q convention not required; qinv = q^{-1} mod p).
+    BigUint p;
+    BigUint q;
+    BigUint dp;
+    BigUint dq;
+    BigUint qinv;
+    std::size_t bits{0};
+
+    [[nodiscard]] std::size_t byte_size() const { return (bits + 7) / 8; }
+};
+
+struct RsaKeyPair {
+    RsaPublicKey pub;
+    RsaPrivateKey priv;
+};
+
+/// Generates an RSA key pair with modulus of exactly `bits` bits (>= 256)
+/// and public exponent 65537. The Rng makes generation reproducible.
+RsaKeyPair rsa_generate(std::size_t bits, Rng& rng);
+
+/// Miller-Rabin probabilistic primality test (exposed for testing).
+bool is_probable_prime(const BigUint& n, Rng& rng, int rounds = 24);
+
+/// Signs `message` (full message; it is digested internally).
+Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> message,
+               DigestAlgorithm digest = DigestAlgorithm::kMd5);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature,
+                DigestAlgorithm digest = DigestAlgorithm::kMd5);
+
+}  // namespace failsig::crypto

@@ -1,0 +1,57 @@
+// FsClient: a plain (non-replicated) party interacting with FS processes.
+//
+// Handles the client half of the FS protocol: sends each logical input to
+// *both* wrapper objects of the target pair (with one shared uid so the pair
+// deduplicates), validates double signatures on responses, suppresses the
+// duplicate copies that the two Compare processes emit, and surfaces
+// fail-signals. This is exactly what the NewTOP Invocation layer's
+// interceptors do in FS-NewTOP; it is also directly useful to applications
+// (see examples/quickstart.cpp).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "fs/fso.hpp"
+
+namespace failsig::fs {
+
+class FsClient final : public orb::Servant {
+public:
+    using ResponseHandler =
+        std::function<void(const std::string& source_fs, const std::string& operation,
+                           const Bytes& body)>;
+    using FailSignalHandler = std::function<void(const std::string& source_fs)>;
+
+    /// Registers the client as object `key` on `orb`.
+    FsClient(FsRuntime& rt, orb::Orb& orb, const std::string& key);
+
+    void on_response(ResponseHandler handler) { response_handler_ = std::move(handler); }
+    void on_fail_signal(FailSignalHandler handler) { fail_handler_ = std::move(handler); }
+
+    /// Sends one logical input to the named FS process (both replicas).
+    void send(const std::string& fs_name, const std::string& operation, Bytes body);
+
+    void dispatch(const orb::Request& request) override;
+
+    [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+    [[nodiscard]] std::uint64_t responses_received() const { return responses_received_; }
+    [[nodiscard]] std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+    [[nodiscard]] std::uint64_t invalid_dropped() const { return invalid_dropped_; }
+
+private:
+    FsRuntime& rt_;
+    orb::Orb& orb_;
+    orb::ObjectRef self_ref_;
+    std::uint64_t next_uid_{1};
+    std::unordered_set<std::string> seen_outputs_;
+    std::unordered_set<std::string> signalled_sources_;
+    ResponseHandler response_handler_;
+    FailSignalHandler fail_handler_;
+    std::uint64_t responses_received_{0};
+    std::uint64_t duplicates_suppressed_{0};
+    std::uint64_t invalid_dropped_{0};
+};
+
+}  // namespace failsig::fs

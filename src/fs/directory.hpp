@@ -1,0 +1,47 @@
+// Registry of FS processes: where each pair's wrapper objects live and which
+// signing principals their Compare processes use. Receivers consult it to
+// validate double-signed outputs and fail-signals.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "orb/request.hpp"
+
+namespace failsig::fs {
+
+struct FsProcessInfo {
+    std::string name;
+    orb::ObjectRef leader;          ///< FSO (ORB-visible object)
+    orb::ObjectRef follower;        ///< FSO'
+    Endpoint leader_pair_ep;        ///< leader end of the synchronous pair link
+    Endpoint follower_pair_ep;      ///< follower end of the synchronous pair link
+    std::string leader_principal;   ///< Compare's signing identity
+    std::string follower_principal; ///< Compare''s signing identity
+};
+
+class FsDirectory {
+public:
+    void register_process(FsProcessInfo info) {
+        const std::string name = info.name;
+        order_.push_back(name);
+        infos_[name] = std::move(info);
+    }
+
+    [[nodiscard]] const FsProcessInfo* lookup(const std::string& name) const {
+        const auto it = infos_.find(name);
+        return it == infos_.end() ? nullptr : &it->second;
+    }
+
+    /// Names in registration order.
+    [[nodiscard]] const std::vector<std::string>& names() const { return order_; }
+
+private:
+    std::unordered_map<std::string, FsProcessInfo> infos_;
+    std::vector<std::string> order_;
+};
+
+}  // namespace failsig::fs

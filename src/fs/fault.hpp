@@ -1,0 +1,34 @@
+// Fault injection for one node of an FS pair (assumption A1 allows at most
+// one faulty node per pair; tests inject faults into exactly one member and
+// assert that the environment sees only fs1/fs2 behaviour).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace failsig::fs {
+
+/// Authenticated-Byzantine fault plan applied to one wrapper object's node.
+/// The faulty node cannot forge the other node's signature (A5); everything
+/// else is fair game.
+struct FaultPlan {
+    /// Corrupt each produced output's body (bit flip) with `probability`.
+    bool corrupt_outputs{false};
+    /// Produce no outputs at all (crash of the service thread).
+    bool drop_outputs{false};
+    /// Add this much delay to each input's processing (violates A3 when it
+    /// exceeds the κ bound).
+    Duration extra_processing_delay{0};
+    /// Leader only: process inputs in a different order than announced.
+    bool misorder_inputs{false};
+    /// Compare process spontaneously emits this node's fail-signal at
+    /// arbitrary times (failure mode fs2).
+    bool spontaneous_fail_signals{false};
+    /// Interval between spontaneous fail-signal emissions.
+    Duration spontaneous_interval{50 * kMillisecond};
+    /// Probability that an applicable fault fires for a given output.
+    double probability{1.0};
+    /// Simulated time at which the node becomes faulty.
+    TimePoint active_from{0};
+};
+
+}  // namespace failsig::fs

@@ -1,0 +1,45 @@
+// FsHost: builds and owns fail-signal process pairs.
+//
+// One call wires up everything §2 requires for an FS process: two wrapper
+// objects on distinct nodes, the synchronous pair link with bound δ, signing
+// principals for both Compare processes, mutual pre-armed fail-signals, and
+// a directory entry so other parties can validate this process's outputs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/fso.hpp"
+
+namespace failsig::fs {
+
+struct FsProcessHandles {
+    FsProcessInfo info;
+    Fso* leader{nullptr};
+    Fso* follower{nullptr};
+};
+
+class FsHost {
+public:
+    explicit FsHost(FsRuntime runtime) : rt_(runtime) {}
+
+    FsHost(const FsHost&) = delete;
+    FsHost& operator=(const FsHost&) = delete;
+
+    /// Creates the FS process `name` as a self-checking pair on
+    /// {leader_node, follower_node}. The factory is invoked twice so both
+    /// replicas start from identical initial state (requirement R1).
+    FsProcessHandles create_process(const std::string& name, NodeId leader_node,
+                                    NodeId follower_node, const ServiceFactory& factory,
+                                    FsConfig config = {});
+
+    [[nodiscard]] FsRuntime& runtime() { return rt_; }
+
+private:
+    FsRuntime rt_;
+    std::vector<std::unique_ptr<Fso>> fsos_;
+    std::uint32_t next_pair_port_{10000};
+};
+
+}  // namespace failsig::fs

@@ -1,0 +1,83 @@
+// The contract a middleware process must satisfy to be made fail-signalling.
+//
+// Requirement R1 (paper §2.1): "the execution of an operation by p in a given
+// state and with a given set of arguments must always produce the same
+// result" — i.e. the wrapped process is a deterministic state machine. The
+// FS wrapper instantiates the factory twice ({p, p'}), feeds both replicas
+// identical inputs in identical order, and cross-checks their outputs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "orb/request.hpp"
+
+namespace failsig::fs {
+
+/// Where a service output should go: another FS process (addressed by
+/// logical name; the wrapper transmits to both of its replicas) or a plain
+/// (non-replicated) object reference such as a client.
+struct Destination {
+    bool is_fs{false};
+    std::string fs_name;
+    orb::ObjectRef ref;
+
+    static Destination fs(std::string name) {
+        Destination d;
+        d.is_fs = true;
+        d.fs_name = std::move(name);
+        return d;
+    }
+    static Destination plain(orb::ObjectRef target) {
+        Destination d;
+        d.ref = std::move(target);
+        return d;
+    }
+
+    friend bool operator==(const Destination&, const Destination&) = default;
+};
+
+/// One output message produced by the wrapped service. A single logical
+/// output may have several destinations (a multicast): the FS wrapper
+/// compares and double-signs it once and transmits the same signed message
+/// to every destination.
+struct Outbound {
+    std::vector<Destination> dests;
+    std::string operation;
+    Bytes body;
+
+    Outbound() = default;
+    Outbound(Destination dest, std::string op, Bytes payload)
+        : dests{std::move(dest)}, operation(std::move(op)), body(std::move(payload)) {}
+};
+
+/// Operation name under which fail-signals from other FS processes are
+/// delivered to the wrapped service as ordered inputs (body = source name).
+inline constexpr const char* kFailSignalOp = "__failsignal";
+
+/// A deterministic state machine (requirement R1).
+class DeterministicService {
+public:
+    virtual ~DeterministicService() = default;
+
+    /// Processes one input and returns the outputs it generates. Must be
+    /// deterministic: same state + same input => same outputs.
+    virtual std::vector<Outbound> process(const std::string& operation, const Bytes& body) = 0;
+
+    /// Simulated CPU cost of processing this input (charged to the host
+    /// node's thread pool before process() is invoked).
+    [[nodiscard]] virtual Duration processing_cost(const std::string& operation,
+                                                   const Bytes& body) const {
+        (void)operation;
+        return 100 * kMicrosecond + static_cast<Duration>(body.size()) / 50;
+    }
+};
+
+/// Creates a fresh replica in its initial state; called once per pair member.
+using ServiceFactory = std::function<std::unique_ptr<DeterministicService>()>;
+
+}  // namespace failsig::fs

@@ -1,0 +1,80 @@
+#include "fsnewtop/deployment.hpp"
+
+namespace failsig::fsnewtop {
+
+FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
+    : net_(sim_, Rng(options.seed), options.net_params),
+      domain_(sim_, net_, options.costs, options.threads_per_node),
+      keys_(options.crypto_backend, 512, options.seed ^ 0x6b657973u),
+      host_(fs::FsRuntime{sim_, net_, domain_, keys_, directory_}) {
+    const int n = options.group_size;
+    ensure(n >= 1, "FsNewTopDeployment: group_size must be >= 1");
+
+    std::vector<newtop::MemberId> member_ids;
+    for (int i = 0; i < n; ++i) member_ids.push_back(static_cast<newtop::MemberId>(i));
+
+    // Node layout.
+    const auto app_node = [&](int i) { return NodeId{static_cast<std::uint32_t>(i + 1)}; };
+    const auto leader_node = [&](int i) {
+        return options.placement == Placement::kCollocated
+                   ? app_node(i)
+                   : NodeId{static_cast<std::uint32_t>(2 * i + 1)};
+    };
+    const auto follower_node = [&](int i) {
+        if (options.placement == Placement::kCollocated) {
+            // Figure 5: FSO'_i lives on the next member's node (wrap-around);
+            // with n == 1 there is no second node, so borrow node n+1.
+            return n > 1 ? app_node((i + 1) % n) : NodeId{static_cast<std::uint32_t>(n + 1)};
+        }
+        return NodeId{static_cast<std::uint32_t>(2 * i + 2)};
+    };
+
+    // Pass 1: each member's Invocation layer (an FsClient) on its app node.
+    members_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        orb::Orb& app_orb = domain_.create_orb(app_node(i));
+        members_[static_cast<std::size_t>(i)].invocation = std::make_unique<FsInvocation>(
+            host_.runtime(), app_orb, "inv:" + std::to_string(i), gc_name(i));
+    }
+
+    // Pass 2: the FS-wrapped GC pairs.
+    for (int i = 0; i < n; ++i) {
+        newtop::GcConfig cfg;
+        cfg.self = static_cast<newtop::MemberId>(i);
+        cfg.initial_members = member_ids;
+        for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            cfg.peers[static_cast<newtop::MemberId>(j)] = fs::Destination::fs(gc_name(j));
+            cfg.fs_members[gc_name(j)] = static_cast<newtop::MemberId>(j);
+        }
+        cfg.delivery = fs::Destination::plain(
+            members_[static_cast<std::size_t>(i)].invocation->delivery_ref());
+        cfg.protocol_op_cost = options.costs.gc_protocol_op;
+
+        members_[static_cast<std::size_t>(i)].handles = host_.create_process(
+            gc_name(i), leader_node(i), follower_node(i),
+            [cfg] { return std::make_unique<newtop::GcService>(cfg); }, options.fs_config);
+    }
+}
+
+FsInvocation& FsNewTopDeployment::invocation(int member) {
+    return *members_.at(static_cast<std::size_t>(member)).invocation;
+}
+
+fs::Fso& FsNewTopDeployment::leader_fso(int member) {
+    return *members_.at(static_cast<std::size_t>(member)).handles.leader;
+}
+
+fs::Fso& FsNewTopDeployment::follower_fso(int member) {
+    return *members_.at(static_cast<std::size_t>(member)).handles.follower;
+}
+
+newtop::GcService& FsNewTopDeployment::gc_leader(int member) {
+    return dynamic_cast<newtop::GcService&>(leader_fso(member).service());
+}
+
+newtop::GcService& FsNewTopDeployment::gc_follower(int member) {
+    return dynamic_cast<newtop::GcService&>(follower_fso(member).service());
+}
+
+}  // namespace failsig::fsnewtop

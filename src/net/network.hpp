@@ -1,0 +1,137 @@
+// Network abstraction: message delivery between endpoints.
+//
+// The paper's deployment (Figure 4) uses two kinds of links:
+//  * a reliable *synchronous* LAN between the two nodes of each FS pair,
+//    delivering within a known bound δ (assumption A2), and
+//  * a reliable *asynchronous* network between FS processes, with no known
+//    bound on message delays.
+// `SimNetwork` models both, plus the fault injection the experiments need.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace failsig::net {
+
+/// A message in flight.
+struct Message {
+    Endpoint src;
+    Endpoint dst;
+    Bytes payload;
+};
+
+using MessageHandler = std::function<void(const Message&)>;
+
+/// Abstract message transport.
+class Network {
+public:
+    virtual ~Network() = default;
+
+    /// Registers the handler invoked when a message reaches `endpoint`.
+    virtual void bind(Endpoint endpoint, MessageHandler handler) = 0;
+    virtual void unbind(Endpoint endpoint) = 0;
+
+    /// Sends `payload` from `src` to `dst` (fire-and-forget datagram).
+    virtual void send(Endpoint src, Endpoint dst, Bytes payload) = 0;
+};
+
+/// Delay parameters for the asynchronous network.
+struct AsyncLinkParams {
+    /// Minimum propagation delay.
+    Duration base = 1000 * kMicrosecond;
+    /// Mean of the exponential jitter added on top.
+    double jitter_mean_us = 500.0;
+    /// Serialization delay per payload byte (100 Mb/s ~ 0.08 us/byte).
+    double per_byte_us = 0.08;
+};
+
+/// Mutates or drops messages in flight; returns false to drop.
+using Corruptor = std::function<bool(Message&)>;
+
+/// Deterministic simulated network over a Simulation event queue.
+///
+/// Channels are reliable and FIFO per (src-node, dst-node) pair unless fault
+/// injection says otherwise. LAN pairs registered with `set_lan_pair` get
+/// delay <= δ; all other traffic uses the asynchronous delay model.
+class SimNetwork final : public Network {
+public:
+    SimNetwork(sim::Simulation& sim, Rng rng, AsyncLinkParams params = {});
+
+    void bind(Endpoint endpoint, MessageHandler handler) override;
+    void unbind(Endpoint endpoint) override;
+    void send(Endpoint src, Endpoint dst, Bytes payload) override;
+
+    /// Declares nodes a and b connected by a synchronous link with bound δ.
+    void set_lan_pair(NodeId a, NodeId b, Duration delta);
+
+    // --- fault injection -----------------------------------------------
+    /// Drops every message between the two nodes (both directions).
+    void block(NodeId a, NodeId b);
+    void unblock(NodeId a, NodeId b);
+    /// Splits nodes into groups; traffic across groups is dropped until
+    /// heal_partition(). LAN pairs are not affected (they are point-to-point
+    /// cables in the deployment).
+    void partition(const std::vector<std::set<NodeId>>& groups);
+    void heal_partition();
+    /// Adds `extra` delay to all async traffic until simulated time `until`
+    /// (used to provoke false suspicions in timeout-based suspectors).
+    void delay_surge(Duration extra, TimePoint until);
+    /// Installs a payload corruptor (return false to drop the message).
+    void set_corruptor(Corruptor corruptor);
+    /// Random drop probability on async links (LAN pairs stay reliable).
+    void set_drop_probability(double p);
+
+    // --- statistics ------------------------------------------------------
+    [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+    [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
+    [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
+    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+    void reset_stats();
+
+private:
+    struct NodePair {
+        NodeId a, b;
+        bool operator==(const NodePair&) const = default;
+    };
+    struct NodePairHash {
+        std::size_t operator()(const NodePair& p) const {
+            return (static_cast<std::size_t>(p.a.value) << 32) ^ p.b.value;
+        }
+    };
+    static NodePair ordered(NodeId x, NodeId y) {
+        return x.value <= y.value ? NodePair{x, y} : NodePair{y, x};
+    }
+
+    [[nodiscard]] bool is_blocked(NodeId a, NodeId b) const;
+    [[nodiscard]] Duration delay_for(NodeId a, NodeId b, std::size_t size);
+
+    sim::Simulation& sim_;
+    Rng rng_;
+    AsyncLinkParams params_;
+
+    std::unordered_map<Endpoint, MessageHandler> handlers_;
+    std::unordered_map<NodePair, Duration, NodePairHash> lan_pairs_;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> blocked_;
+    std::vector<std::set<NodeId>> partition_groups_;
+    Duration surge_extra_{0};
+    TimePoint surge_until_{0};
+    Corruptor corruptor_;
+    double drop_probability_{0.0};
+
+    // FIFO enforcement: last scheduled delivery per directed node pair.
+    std::unordered_map<std::uint64_t, TimePoint> last_delivery_;
+
+    std::uint64_t messages_sent_{0};
+    std::uint64_t messages_delivered_{0};
+    std::uint64_t messages_dropped_{0};
+    std::uint64_t bytes_sent_{0};
+};
+
+}  // namespace failsig::net

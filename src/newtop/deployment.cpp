@@ -1,0 +1,77 @@
+#include "newtop/deployment.hpp"
+
+namespace failsig::newtop {
+
+NewTopDeployment::NewTopDeployment(const NewTopOptions& options)
+    : net_(sim_, Rng(options.seed), options.net_params),
+      domain_(sim_, net_, options.costs, options.threads_per_node) {
+    const int n = options.group_size;
+    ensure(n >= 1, "NewTopDeployment: group_size must be >= 1");
+
+    std::vector<MemberId> member_ids;
+    for (int i = 0; i < n; ++i) member_ids.push_back(static_cast<MemberId>(i));
+
+    // Pass 1: create ORBs and reserve object refs so GcConfigs can point at
+    // peers that do not exist yet.
+    std::vector<orb::Orb*> orbs;
+    std::vector<orb::ObjectRef> gc_refs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        orbs.push_back(&domain_.create_orb(node_of(i)));
+        gc_refs[static_cast<std::size_t>(i)] = orb::ObjectRef{orbs.back()->endpoint(), "gc"};
+    }
+
+    // Pass 2: build each NSO.
+    members_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto& member = members_[static_cast<std::size_t>(i)];
+        orb::Orb& orb = *orbs[static_cast<std::size_t>(i)];
+
+        GcConfig cfg;
+        cfg.self = static_cast<MemberId>(i);
+        cfg.initial_members = member_ids;
+        for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            cfg.peers[static_cast<MemberId>(j)] =
+                fs::Destination::plain(gc_refs[static_cast<std::size_t>(j)]);
+        }
+        cfg.delivery = fs::Destination::plain(orb::ObjectRef{orb.endpoint(), "inv"});
+        cfg.protocol_op_cost = options.costs.gc_protocol_op;
+
+        member.gc = std::make_unique<GcServant>(orb, "gc", std::make_unique<GcService>(cfg));
+        member.invocation = std::make_unique<PlainInvocation>(orb, "inv", *member.gc);
+        member.suspector = std::make_unique<PingSuspector>(
+            sim_, orb, "susp", static_cast<MemberId>(i), *member.gc, options.suspector);
+    }
+
+    // Pass 3: connect suspectors.
+    for (int i = 0; i < n; ++i) {
+        std::map<MemberId, orb::ObjectRef> peers;
+        for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            peers[static_cast<MemberId>(j)] = orb::ObjectRef{
+                orbs[static_cast<std::size_t>(j)]->endpoint(), "susp"};
+        }
+        members_[static_cast<std::size_t>(i)].suspector->set_peers(std::move(peers));
+        if (options.start_suspectors) {
+            members_[static_cast<std::size_t>(i)].suspector->start();
+        }
+    }
+}
+
+PlainInvocation& NewTopDeployment::invocation(int member) {
+    return *members_.at(static_cast<std::size_t>(member)).invocation;
+}
+
+GcService& NewTopDeployment::gc(int member) {
+    return members_.at(static_cast<std::size_t>(member)).gc->gc();
+}
+
+PingSuspector& NewTopDeployment::suspector(int member) {
+    return *members_.at(static_cast<std::size_t>(member)).suspector;
+}
+
+void NewTopDeployment::stop_suspectors() {
+    for (auto& m : members_) m.suspector->stop();
+}
+
+}  // namespace failsig::newtop

@@ -1,0 +1,40 @@
+#include "newtop/gc_servant.hpp"
+
+namespace failsig::newtop {
+
+GcServant::GcServant(orb::Orb& orb, const std::string& key, std::unique_ptr<GcService> gc)
+    : orb_(orb), gc_(std::move(gc)) {
+    self_ref_ = orb_.activate(key, this);
+}
+
+void GcServant::dispatch(const orb::Request& request) {
+    if (!request.args.is<Bytes>()) return;
+    submit_local(request.operation, request.args.as<Bytes>());
+}
+
+void GcServant::submit_local(const std::string& operation, Bytes body) {
+    queue_.emplace_back(operation, std::move(body));
+    maybe_run();
+}
+
+void GcServant::maybe_run() {
+    if (busy_ || queue_.empty()) return;
+    busy_ = true;
+    auto [operation, body] = std::move(queue_.front());
+    queue_.pop_front();
+
+    const Duration cost = gc_->processing_cost(operation, body);
+    orb_.pool().submit(cost, [this, operation = std::move(operation), body = std::move(body)] {
+        const auto outputs = gc_->process(operation, body);
+        for (const auto& out : outputs) {
+            // Plain deployment: every destination is a concrete object ref.
+            for (const auto& dest : out.dests) {
+                if (!dest.is_fs) orb_.invoke(dest.ref, out.operation, orb::Any{out.body});
+            }
+        }
+        busy_ = false;
+        maybe_run();
+    });
+}
+
+}  // namespace failsig::newtop

@@ -1,0 +1,38 @@
+// GcServant: hosts a GcService as a plain CORBA object (the crash-tolerant
+// NewTOP deployment). Inputs are serialized — the paper's GC "is implemented
+// as a single-threaded, deterministic application" — and each input's
+// processing cost is charged to the node's shared thread pool before the
+// state machine runs. Outputs are routed through the ORB.
+#pragma once
+
+#include <deque>
+
+#include "newtop/gc_service.hpp"
+#include "orb/orb.hpp"
+
+namespace failsig::newtop {
+
+class GcServant final : public orb::Servant {
+public:
+    GcServant(orb::Orb& orb, const std::string& key, std::unique_ptr<GcService> gc);
+
+    void dispatch(const orb::Request& request) override;
+
+    /// Feeds an input from a collocated module (Invocation layer, suspector)
+    /// without a network round trip — they live in the same NSO.
+    void submit_local(const std::string& operation, Bytes body);
+
+    [[nodiscard]] GcService& gc() { return *gc_; }
+    [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+
+private:
+    void maybe_run();
+
+    orb::Orb& orb_;
+    std::unique_ptr<GcService> gc_;
+    orb::ObjectRef self_ref_;
+    std::deque<std::pair<std::string, Bytes>> queue_;
+    bool busy_{false};
+};
+
+}  // namespace failsig::newtop

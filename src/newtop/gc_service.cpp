@@ -1,0 +1,538 @@
+#include "newtop/gc_service.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace failsig::newtop {
+
+namespace {
+/// Lexicographic (timestamp, member) comparison used for both symmetric-order
+/// delivery position and stability checks.
+bool ts_pair_greater(std::uint64_t a_ts, MemberId a_id, std::uint64_t b_ts, MemberId b_id) {
+    if (a_ts != b_ts) return a_ts > b_ts;
+    return a_id > b_id;
+}
+}  // namespace
+
+GcService::GcService(GcConfig config) : cfg_(std::move(config)) {
+    view_.view_id = 1;
+    view_.members = cfg_.initial_members;
+    std::sort(view_.members.begin(), view_.members.end());
+    highest_view_seen_ = 1;
+    vc_.assign(cfg_.initial_members.size(), 0);
+    for (const auto m : view_.members) {
+        latest_ts_[m] = 0;
+        causal_delivered_[m] = 0;
+        fifo_next_[m] = 1;
+        sym_stream_next_[m] = 1;
+    }
+}
+
+std::size_t GcService::member_index(MemberId m) const {
+    const auto it = std::find(cfg_.initial_members.begin(), cfg_.initial_members.end(), m);
+    return static_cast<std::size_t>(it - cfg_.initial_members.begin());
+}
+
+Duration GcService::processing_cost(const std::string& operation, const Bytes& body) const {
+    (void)operation;
+    // Buffer-management cost grows with the undelivered backlog: when the
+    // group runs past its ordering capacity, stability checks scan ever
+    // larger buffers and the degradation compounds (this produces the
+    // throughput fall-off beyond the Figure-7 peak).
+    const Duration backlog_cost =
+        std::min<Duration>(static_cast<Duration>(sym_buffer_.size()) * 5, 2000);
+    return cfg_.protocol_op_cost + backlog_cost +
+           static_cast<Duration>(cfg_.per_byte_cost_us * static_cast<double>(body.size()));
+}
+
+std::vector<fs::Outbound> GcService::process(const std::string& operation, const Bytes& body) {
+    Out out;
+    if (operation == "multicast") {
+        auto req = MulticastRequest::decode(body);
+        if (req.has_value()) on_multicast(req.value(), out);
+    } else if (operation == "gc") {
+        auto msg = GcMessage::decode(body);
+        if (msg.has_value()) on_gc_message(msg.value(), out);
+    } else if (operation == "suspect") {
+        if (body.size() == 4) {
+            ByteReader r(body);
+            on_suspect(r.u32(), out);
+        }
+    } else if (operation == fs::kFailSignalOp) {
+        // FS-NewTOP's suspector module: a fail-signal uniquely identifies a
+        // faulty FS process, so this suspicion cannot be false (§3.1).
+        const auto it = cfg_.fs_members.find(string_of(body));
+        if (it != cfg_.fs_members.end()) on_suspect(it->second, out);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Input dispatch
+// ---------------------------------------------------------------------------
+
+void GcService::on_multicast(const MulticastRequest& request, Out& out) {
+    switch (request.service) {
+        case ServiceType::kSymmetricTotalOrder: {
+            ++lamport_;
+            GcMessage msg;
+            msg.kind = GcKind::kData;
+            msg.sender = cfg_.self;
+            msg.service = ServiceType::kSymmetricTotalOrder;
+            msg.sender_seq = ++sym_seq_;
+            msg.stream_seq = ++sym_stream_out_;
+            msg.lamport_ts = lamport_;
+            msg.payload = request.payload;
+            broadcast(msg, out);
+            handle_sym_data(msg, out);
+            break;
+        }
+        case ServiceType::kAsymmetricTotalOrder: {
+            GcMessage msg;
+            msg.kind = GcKind::kData;
+            msg.sender = cfg_.self;
+            msg.service = ServiceType::kAsymmetricTotalOrder;
+            msg.sender_seq = ++asym_seq_;
+            msg.payload = request.payload;
+            if (cfg_.self == sequencer()) {
+                handle_asym_data(msg, out);
+            } else {
+                send_to(sequencer(), msg, out);
+            }
+            break;
+        }
+        case ServiceType::kCausalOrder: {
+            ++vc_[member_index(cfg_.self)];
+            GcMessage msg;
+            msg.kind = GcKind::kData;
+            msg.sender = cfg_.self;
+            msg.service = ServiceType::kCausalOrder;
+            msg.vector_clock = vc_;
+            msg.payload = request.payload;
+            broadcast(msg, out);
+            // Own messages are causally ready by construction.
+            causal_delivered_[cfg_.self] = vc_[member_index(cfg_.self)];
+            Delivery d;
+            d.sender = cfg_.self;
+            d.service = ServiceType::kCausalOrder;
+            d.payload = msg.payload;
+            deliver(std::move(d), out);
+            break;
+        }
+        case ServiceType::kReliableMulticast: {
+            GcMessage msg;
+            msg.kind = GcKind::kData;
+            msg.sender = cfg_.self;
+            msg.service = ServiceType::kReliableMulticast;
+            msg.sender_seq = ++rel_seq_;
+            msg.payload = request.payload;
+            broadcast(msg, out);
+            fifo_next_[cfg_.self] = msg.sender_seq + 1;
+            Delivery d;
+            d.sender = cfg_.self;
+            d.service = ServiceType::kReliableMulticast;
+            d.sender_seq = msg.sender_seq;
+            d.payload = msg.payload;
+            deliver(std::move(d), out);
+            break;
+        }
+        case ServiceType::kUnreliableMulticast: {
+            GcMessage msg;
+            msg.kind = GcKind::kData;
+            msg.sender = cfg_.self;
+            msg.service = ServiceType::kUnreliableMulticast;
+            msg.payload = request.payload;
+            broadcast(msg, out);
+            Delivery d;
+            d.sender = cfg_.self;
+            d.service = ServiceType::kUnreliableMulticast;
+            d.payload = msg.payload;
+            deliver(std::move(d), out);
+            break;
+        }
+    }
+}
+
+void GcService::on_gc_message(const GcMessage& msg, Out& out) {
+    // View protocol messages are accepted from proposed members too; all
+    // other traffic must come from a current view member.
+    const bool is_view_msg = msg.kind == GcKind::kViewPropose || msg.kind == GcKind::kViewAck ||
+                             msg.kind == GcKind::kViewInstall;
+    if (!is_view_msg && !view_.contains(msg.sender)) return;
+
+    switch (msg.kind) {
+        case GcKind::kData:
+            switch (msg.service) {
+                case ServiceType::kSymmetricTotalOrder:
+                    enqueue_sym_stream(msg, out);
+                    break;
+                case ServiceType::kAsymmetricTotalOrder: handle_asym_data(msg, out); break;
+                case ServiceType::kCausalOrder: handle_causal_data(msg, out); break;
+                case ServiceType::kReliableMulticast: handle_rel_data(msg, out); break;
+                case ServiceType::kUnreliableMulticast: {
+                    Delivery d;
+                    d.sender = msg.sender;
+                    d.service = ServiceType::kUnreliableMulticast;
+                    d.payload = msg.payload;
+                    deliver(std::move(d), out);
+                    break;
+                }
+            }
+            break;
+        case GcKind::kAck: enqueue_sym_stream(msg, out); break;
+        case GcKind::kOrder: handle_asym_order(msg, out); break;
+        case GcKind::kViewPropose: handle_view_propose(msg, out); break;
+        case GcKind::kViewAck: handle_view_ack(msg, out); break;
+        case GcKind::kViewInstall: handle_view_install(msg, out); break;
+    }
+}
+
+void GcService::on_suspect(MemberId member, Out& out) {
+    if (member == cfg_.self || !view_.contains(member)) return;
+    if (!suspected_.insert(member).second) return;
+    LogStream(LogLevel::kDebug, "gc") << "member " << cfg_.self << " suspects " << member;
+    maybe_propose_view(out);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric total order
+// ---------------------------------------------------------------------------
+
+void GcService::enqueue_sym_stream(const GcMessage& msg, Out& out) {
+    // Re-sequence each sender's DATA/ACK stream: the stability rule below is
+    // only sound when clock announcements from a sender arrive in the order
+    // they were made.
+    auto& next = sym_stream_next_[msg.sender];
+    if (next == 0) next = 1;
+    if (msg.stream_seq < next) return;  // stale duplicate
+    auto& holdback = sym_holdback_[msg.sender];
+    holdback[msg.stream_seq] = msg;
+    while (true) {
+        const auto it = holdback.find(next);
+        if (it == holdback.end()) break;
+        const GcMessage m = it->second;
+        holdback.erase(it);
+        ++next;
+        if (m.kind == GcKind::kAck) {
+            handle_sym_ack(m);
+            check_sym_delivery(out);
+        } else {
+            bump_clock(m.lamport_ts);
+            handle_sym_data(m, out);
+        }
+    }
+}
+
+void GcService::handle_sym_data(const GcMessage& msg, Out& out) {
+    sym_buffer_[{msg.lamport_ts, msg.sender}] = msg;
+    auto& sender_ts = latest_ts_[msg.sender];
+    sender_ts = std::max(sender_ts, msg.lamport_ts);
+
+    // Logically acknowledge to every member: announce our advanced clock.
+    // This is what makes the symmetric protocol "significantly message
+    // intensive" (§4) — n*(n-1) ACKs circulate per multicast.
+    ++lamport_;
+    GcMessage ack;
+    ack.kind = GcKind::kAck;
+    ack.sender = cfg_.self;
+    ack.stream_seq = ++sym_stream_out_;
+    ack.lamport_ts = lamport_;
+    broadcast(ack, out);
+    latest_ts_[cfg_.self] = std::max(latest_ts_[cfg_.self], lamport_);
+
+    check_sym_delivery(out);
+}
+
+void GcService::handle_sym_ack(const GcMessage& msg) {
+    bump_clock(msg.lamport_ts);
+    auto& ts = latest_ts_[msg.sender];
+    ts = std::max(ts, msg.lamport_ts);
+}
+
+void GcService::check_sym_delivery(Out& out) {
+    while (!sym_buffer_.empty()) {
+        const auto& [key, msg] = *sym_buffer_.begin();
+        const auto [msg_ts, msg_sender] = key;
+        // Stable iff every current member's announced clock has passed the
+        // message's (ts, sender) position.
+        bool stable = true;
+        for (const auto m : view_.members) {
+            const auto it = latest_ts_.find(m);
+            const std::uint64_t seen = it == latest_ts_.end() ? 0 : it->second;
+            if (!ts_pair_greater(seen, m, msg_ts, msg_sender)) {
+                stable = false;
+                break;
+            }
+        }
+        if (!stable) break;
+
+        Delivery d;
+        d.sender = msg.sender;
+        d.service = ServiceType::kSymmetricTotalOrder;
+        d.sender_seq = msg.sender_seq;
+        d.payload = msg.payload;
+        sym_buffer_.erase(sym_buffer_.begin());
+        deliver(std::move(d), out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Asymmetric (sequencer) total order
+// ---------------------------------------------------------------------------
+
+void GcService::handle_asym_data(const GcMessage& msg, Out& out) {
+    if (cfg_.self != sequencer()) return;  // stale: we are no longer sequencer
+    GcMessage order;
+    order.kind = GcKind::kOrder;
+    order.sender = cfg_.self;
+    order.service = ServiceType::kAsymmetricTotalOrder;
+    order.global_seq = asym_next_assign_++;
+    order.origin = msg.sender;
+    order.sender_seq = msg.sender_seq;
+    order.payload = msg.payload;
+    broadcast(order, out);
+    handle_asym_order(order, out);
+}
+
+void GcService::handle_asym_order(const GcMessage& msg, Out& out) {
+    if (msg.sender != sequencer() && msg.sender != cfg_.self) {
+        // Only the current sequencer may assign order. (A freshly installed
+        // view changes the sequencer; stale assignments are dropped.)
+        if (!view_.contains(msg.sender)) return;
+    }
+    highest_order_seen_ = std::max(highest_order_seen_, msg.global_seq);
+    asym_next_assign_ = std::max(asym_next_assign_, highest_order_seen_ + 1);
+    asym_buffer_[msg.global_seq] = msg;
+    check_asym_delivery(out);
+}
+
+void GcService::check_asym_delivery(Out& out) {
+    while (true) {
+        const auto it = asym_buffer_.find(asym_next_deliver_);
+        if (it == asym_buffer_.end()) break;
+        Delivery d;
+        d.sender = it->second.origin;
+        d.service = ServiceType::kAsymmetricTotalOrder;
+        d.sender_seq = it->second.sender_seq;
+        d.payload = it->second.payload;
+        asym_buffer_.erase(it);
+        ++asym_next_deliver_;
+        deliver(std::move(d), out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Causal order
+// ---------------------------------------------------------------------------
+
+void GcService::handle_causal_data(const GcMessage& msg, Out& out) {
+    if (msg.vector_clock.size() != vc_.size()) return;  // malformed
+    causal_buffer_.push_back(msg);
+    check_causal_delivery(out);
+}
+
+void GcService::check_causal_delivery(Out& out) {
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto it = causal_buffer_.begin(); it != causal_buffer_.end(); ++it) {
+            const GcMessage& m = *it;
+            const std::size_t j = member_index(m.sender);
+            bool ready = m.vector_clock[j] == causal_delivered_[m.sender] + 1;
+            if (ready) {
+                for (const auto k : view_.members) {
+                    if (k == m.sender) continue;
+                    if (m.vector_clock[member_index(k)] > causal_delivered_[k]) {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if (!ready) continue;
+
+            causal_delivered_[m.sender] = m.vector_clock[j];
+            // Merge the sender's knowledge into our clock.
+            for (std::size_t i = 0; i < vc_.size(); ++i) {
+                vc_[i] = std::max(vc_[i], m.vector_clock[i]);
+            }
+            Delivery d;
+            d.sender = m.sender;
+            d.service = ServiceType::kCausalOrder;
+            d.payload = m.payload;
+            causal_buffer_.erase(it);
+            deliver(std::move(d), out);
+            progressed = true;
+            break;  // iterator invalidated; rescan
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable FIFO multicast
+// ---------------------------------------------------------------------------
+
+void GcService::handle_rel_data(const GcMessage& msg, Out& out) {
+    auto& next = fifo_next_[msg.sender];
+    if (msg.sender_seq < next) return;  // duplicate
+    fifo_buffer_[msg.sender][msg.sender_seq] = msg;
+    auto& buf = fifo_buffer_[msg.sender];
+    while (true) {
+        const auto it = buf.find(next);
+        if (it == buf.end()) break;
+        Delivery d;
+        d.sender = msg.sender;
+        d.service = ServiceType::kReliableMulticast;
+        d.sender_seq = it->second.sender_seq;
+        d.payload = it->second.payload;
+        buf.erase(it);
+        ++next;
+        deliver(std::move(d), out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitionable membership
+// ---------------------------------------------------------------------------
+
+void GcService::maybe_propose_view(Out& out) {
+    std::vector<MemberId> candidates;
+    for (const auto m : view_.members) {
+        if (!suspected_.contains(m)) candidates.push_back(m);
+    }
+    if (candidates.empty()) return;
+    if (candidates.front() != cfg_.self) return;  // not the coordinator
+
+    const std::uint64_t id =
+        std::max({view_.view_id, last_proposed_id_, highest_view_seen_}) + 1;
+    last_proposed_id_ = id;
+    proposed_members_ = candidates;
+    view_acks_ = {cfg_.self};
+
+    if (candidates.size() == 1) {
+        install_view(id, candidates, out);
+        return;
+    }
+    GcMessage propose;
+    propose.kind = GcKind::kViewPropose;
+    propose.sender = cfg_.self;
+    propose.view_id = id;
+    propose.view_members = candidates;
+    for (const auto m : candidates) {
+        if (m != cfg_.self) send_to(m, propose, out);
+    }
+}
+
+void GcService::handle_view_propose(const GcMessage& msg, Out& out) {
+    highest_view_seen_ = std::max(highest_view_seen_, msg.view_id);
+    if (msg.view_id <= view_.view_id) return;
+    if (suspected_.contains(msg.sender)) return;  // we do not follow a suspect
+    if (std::find(msg.view_members.begin(), msg.view_members.end(), cfg_.self) ==
+        msg.view_members.end()) {
+        return;  // we are excluded; our own partition will regroup
+    }
+    if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+
+    GcMessage ack;
+    ack.kind = GcKind::kViewAck;
+    ack.sender = cfg_.self;
+    ack.view_id = msg.view_id;
+    send_to(msg.sender, ack, out);
+}
+
+void GcService::handle_view_ack(const GcMessage& msg, Out& out) {
+    if (msg.view_id != last_proposed_id_) return;
+    view_acks_.insert(msg.sender);
+    const bool complete = std::all_of(proposed_members_.begin(), proposed_members_.end(),
+                                      [&](MemberId m) { return view_acks_.contains(m); });
+    if (!complete) return;
+
+    GcMessage install;
+    install.kind = GcKind::kViewInstall;
+    install.sender = cfg_.self;
+    install.view_id = last_proposed_id_;
+    install.view_members = proposed_members_;
+    for (const auto m : proposed_members_) {
+        if (m != cfg_.self) send_to(m, install, out);
+    }
+    install_view(last_proposed_id_, proposed_members_, out);
+}
+
+void GcService::handle_view_install(const GcMessage& msg, Out& out) {
+    highest_view_seen_ = std::max(highest_view_seen_, msg.view_id);
+    if (msg.view_id <= view_.view_id) return;
+    if (std::find(msg.view_members.begin(), msg.view_members.end(), cfg_.self) ==
+        msg.view_members.end()) {
+        return;
+    }
+    if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+    install_view(msg.view_id, msg.view_members, out);
+}
+
+void GcService::install_view(std::uint64_t view_id, std::vector<MemberId> members, Out& out) {
+    view_.view_id = view_id;
+    view_.members = std::move(members);
+    highest_view_seen_ = std::max(highest_view_seen_, view_id);
+    ++views_installed_;
+    LogStream(LogLevel::kInfo, "gc") << "member " << cfg_.self << " installs "
+                                     << newtop::to_string(view_);
+
+    // Drop state belonging to removed members.
+    for (auto it = latest_ts_.begin(); it != latest_ts_.end();) {
+        it = view_.contains(it->first) ? std::next(it) : latest_ts_.erase(it);
+    }
+    for (auto it = sym_holdback_.begin(); it != sym_holdback_.end();) {
+        it = view_.contains(it->first) ? std::next(it) : sym_holdback_.erase(it);
+    }
+    std::erase_if(suspected_, [&](MemberId m) { return !view_.contains(m); });
+
+    Delivery d;
+    d.kind = Delivery::Kind::kView;
+    d.view = view_;
+    deliver(std::move(d), out);
+
+    // Stability and delivery conditions may be satisfiable now.
+    check_sym_delivery(out);
+    check_asym_delivery(out);
+    check_causal_delivery(out);
+
+    // If suspicions remain inside the new view (e.g. two members failed),
+    // keep shrinking.
+    if (!suspected_.empty()) maybe_propose_view(out);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+void GcService::bump_clock(std::uint64_t observed_ts) {
+    lamport_ = std::max(lamport_, observed_ts) + 1;
+}
+
+void GcService::send_to(MemberId member, const GcMessage& msg, Out& out) {
+    const auto it = cfg_.peers.find(member);
+    if (it == cfg_.peers.end()) return;
+    out.emplace_back(it->second, "gc", msg.encode());
+}
+
+void GcService::broadcast(const GcMessage& msg, Out& out) {
+    // One logical output with all destinations: the FS wrapper signs a
+    // multicast once, not once per receiver.
+    fs::Outbound o;
+    o.operation = "gc";
+    o.body = msg.encode();
+    for (const auto m : view_.members) {
+        if (m == cfg_.self) continue;
+        const auto it = cfg_.peers.find(m);
+        if (it != cfg_.peers.end()) o.dests.push_back(it->second);
+    }
+    if (!o.dests.empty()) out.push_back(std::move(o));
+}
+
+void GcService::deliver(Delivery d, Out& out) {
+    if (d.kind == Delivery::Kind::kMessage) ++delivered_count_;
+    d.delivery_seq = ++delivery_out_seq_;
+    out.emplace_back(cfg_.delivery, "deliver", d.encode());
+}
+
+}  // namespace failsig::newtop

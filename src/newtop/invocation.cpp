@@ -1,0 +1,55 @@
+#include "newtop/invocation.hpp"
+
+namespace failsig::newtop {
+
+void InvocationService::handle_delivery_bytes(const Bytes& body) {
+    auto delivery = Delivery::decode(body);
+    if (!delivery.has_value()) return;
+
+    // Re-sequence by the GC's delivery stream position: FS-wrapped GC
+    // deliveries are independent signed messages and may overtake each other
+    // on the wire, but the application must observe the GC's order.
+    const std::uint64_t seq = delivery.value().delivery_seq;
+    if (seq != 0) {
+        if (seq < next_delivery_seq_) return;  // stale duplicate
+        pending_deliveries_.emplace(seq, std::move(delivery).value());
+        while (true) {
+            const auto it = pending_deliveries_.find(next_delivery_seq_);
+            if (it == pending_deliveries_.end()) break;
+            upcall(it->second);
+            pending_deliveries_.erase(it);
+            ++next_delivery_seq_;
+        }
+    } else {
+        upcall(delivery.value());  // unsequenced (legacy/test) delivery
+    }
+}
+
+void InvocationService::upcall(const Delivery& d) {
+    if (d.kind == Delivery::Kind::kView) {
+        last_view_ = d.view;
+        if (view_handler_) view_handler_(d.view);
+    } else {
+        ++deliveries_;
+        if (delivery_handler_) delivery_handler_(d);
+    }
+}
+
+PlainInvocation::PlainInvocation(orb::Orb& orb, const std::string& key, GcServant& local_gc)
+    : local_gc_(local_gc) {
+    self_ref_ = orb.activate(key, this);
+}
+
+void PlainInvocation::multicast(ServiceType service, Bytes payload) {
+    MulticastRequest req;
+    req.service = service;
+    req.payload = std::move(payload);
+    local_gc_.submit_local("multicast", req.encode());
+}
+
+void PlainInvocation::dispatch(const orb::Request& request) {
+    if (request.operation != "deliver" || !request.args.is<Bytes>()) return;
+    handle_delivery_bytes(request.args.as<Bytes>());
+}
+
+}  // namespace failsig::newtop

@@ -1,0 +1,73 @@
+// The NewTOP Invocation service: the application-facing half of an NSO.
+//
+// "The former [Invocation service] allows the application to specify the
+// type of NewTOP service needed and marshals a multicast message
+// accordingly" (§3). On delivery it unmarshals and upcalls the application.
+//
+// `PlainInvocation` talks to a local crash-prone GC object (original
+// NewTOP). The FS-NewTOP variant lives in fsnewtop/fs_invocation.hpp; both
+// expose the same InvocationService interface, so applications are untouched
+// when crash tolerance is swapped for Byzantine tolerance — the paper's
+// transparency claim.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "newtop/gc_servant.hpp"
+
+namespace failsig::newtop {
+
+class InvocationService {
+public:
+    using DeliveryHandler = std::function<void(const Delivery&)>;
+    using ViewHandler = std::function<void(const GroupView&)>;
+    /// Invoked when the middleware itself fails non-benignly (FS-NewTOP only:
+    /// fail-signal received for the local GC pair).
+    using MiddlewareFailureHandler = std::function<void(const std::string& fs_name)>;
+
+    virtual ~InvocationService() = default;
+
+    /// Multicasts `payload` to the group with the requested service class.
+    virtual void multicast(ServiceType service, Bytes payload) = 0;
+
+    void on_delivery(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
+    void on_view(ViewHandler handler) { view_handler_ = std::move(handler); }
+    void on_middleware_failure(MiddlewareFailureHandler handler) {
+        failure_handler_ = std::move(handler);
+    }
+
+    [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+    [[nodiscard]] const GroupView& last_view() const { return last_view_; }
+
+protected:
+    /// Common unmarshalling/re-sequencing/upcall path used by both variants.
+    void handle_delivery_bytes(const Bytes& body);
+    void upcall(const Delivery& d);
+
+    std::uint64_t next_delivery_seq_{1};
+    std::map<std::uint64_t, Delivery> pending_deliveries_;
+    DeliveryHandler delivery_handler_;
+    ViewHandler view_handler_;
+    MiddlewareFailureHandler failure_handler_;
+    std::uint64_t deliveries_{0};
+    GroupView last_view_;
+};
+
+/// Invocation service of the original, crash-tolerant NewTOP.
+class PlainInvocation final : public InvocationService, public orb::Servant {
+public:
+    /// Registers under `key` on `orb`; `local_gc` is the collocated GC object.
+    PlainInvocation(orb::Orb& orb, const std::string& key, GcServant& local_gc);
+
+    void multicast(ServiceType service, Bytes payload) override;
+    void dispatch(const orb::Request& request) override;
+
+    [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+
+private:
+    GcServant& local_gc_;
+    orb::ObjectRef self_ref_;
+};
+
+}  // namespace failsig::newtop

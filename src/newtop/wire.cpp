@@ -1,0 +1,118 @@
+#include "newtop/wire.hpp"
+
+namespace failsig::newtop {
+
+Bytes GcMessage::encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(sender);
+    w.u64(stream_seq);
+    w.u8(static_cast<std::uint8_t>(service));
+    w.u64(sender_seq);
+    w.u64(lamport_ts);
+    w.bytes(payload);
+    w.u32(static_cast<std::uint32_t>(vector_clock.size()));
+    for (const auto v : vector_clock) w.u64(v);
+    w.u64(global_seq);
+    w.u32(origin);
+    w.u64(view_id);
+    w.u32(static_cast<std::uint32_t>(view_members.size()));
+    for (const auto m : view_members) w.u32(m);
+    return w.take();
+}
+
+Result<GcMessage> GcMessage::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        GcMessage m;
+        const auto kind_raw = r.u8();
+        if (kind_raw < 1 || kind_raw > 6) return Result<GcMessage>::err("bad GcKind");
+        m.kind = static_cast<GcKind>(kind_raw);
+        m.sender = r.u32();
+        m.stream_seq = r.u64();
+        const auto svc_raw = r.u8();
+        if (svc_raw < 1 || svc_raw > 5) return Result<GcMessage>::err("bad ServiceType");
+        m.service = static_cast<ServiceType>(svc_raw);
+        m.sender_seq = r.u64();
+        m.lamport_ts = r.u64();
+        m.payload = r.bytes();
+        const auto vc_size = r.u32();
+        if (vc_size > 4096) return Result<GcMessage>::err("implausible vector clock");
+        m.vector_clock.reserve(vc_size);
+        for (std::uint32_t i = 0; i < vc_size; ++i) m.vector_clock.push_back(r.u64());
+        m.global_seq = r.u64();
+        m.origin = r.u32();
+        m.view_id = r.u64();
+        const auto vm_size = r.u32();
+        if (vm_size > 4096) return Result<GcMessage>::err("implausible view size");
+        m.view_members.reserve(vm_size);
+        for (std::uint32_t i = 0; i < vm_size; ++i) m.view_members.push_back(r.u32());
+        if (!r.done()) return Result<GcMessage>::err("trailing bytes in GcMessage");
+        return m;
+    } catch (const std::out_of_range&) {
+        return Result<GcMessage>::err("truncated GcMessage");
+    }
+}
+
+Bytes MulticastRequest::encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(service));
+    w.bytes(payload);
+    return w.take();
+}
+
+Result<MulticastRequest> MulticastRequest::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        MulticastRequest m;
+        const auto svc_raw = r.u8();
+        if (svc_raw < 1 || svc_raw > 5) return Result<MulticastRequest>::err("bad ServiceType");
+        m.service = static_cast<ServiceType>(svc_raw);
+        m.payload = r.bytes();
+        if (!r.done()) return Result<MulticastRequest>::err("trailing bytes");
+        return m;
+    } catch (const std::out_of_range&) {
+        return Result<MulticastRequest>::err("truncated MulticastRequest");
+    }
+}
+
+Bytes Delivery::encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(delivery_seq);
+    w.u32(sender);
+    w.u8(static_cast<std::uint8_t>(service));
+    w.u64(sender_seq);
+    w.bytes(payload);
+    w.u64(view.view_id);
+    w.u32(static_cast<std::uint32_t>(view.members.size()));
+    for (const auto m : view.members) w.u32(m);
+    return w.take();
+}
+
+Result<Delivery> Delivery::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        Delivery d;
+        const auto kind_raw = r.u8();
+        if (kind_raw < 1 || kind_raw > 2) return Result<Delivery>::err("bad Delivery kind");
+        d.kind = static_cast<Kind>(kind_raw);
+        d.delivery_seq = r.u64();
+        d.sender = r.u32();
+        const auto svc_raw = r.u8();
+        if (svc_raw < 1 || svc_raw > 5) return Result<Delivery>::err("bad ServiceType");
+        d.service = static_cast<ServiceType>(svc_raw);
+        d.sender_seq = r.u64();
+        d.payload = r.bytes();
+        d.view.view_id = r.u64();
+        const auto vm_size = r.u32();
+        if (vm_size > 4096) return Result<Delivery>::err("implausible view size");
+        for (std::uint32_t i = 0; i < vm_size; ++i) d.view.members.push_back(r.u32());
+        if (!r.done()) return Result<Delivery>::err("trailing bytes");
+        return d;
+    } catch (const std::out_of_range&) {
+        return Result<Delivery>::err("truncated Delivery");
+    }
+}
+
+}  // namespace failsig::newtop

@@ -1,0 +1,93 @@
+// NewTOP wire formats: GC-to-GC protocol messages, application multicast
+// requests, and deliveries to the application layer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "newtop/types.hpp"
+
+namespace failsig::newtop {
+
+/// GC protocol message kinds.
+enum class GcKind : std::uint8_t {
+    kData = 1,         ///< application payload multicast
+    kAck = 2,          ///< Lamport-clock announcement (symmetric TO stability)
+    kOrder = 3,        ///< sequencer order assignment (asymmetric TO)
+    kViewPropose = 4,  ///< coordinator proposes a new view
+    kViewAck = 5,      ///< member accepts a proposed view
+    kViewInstall = 6,  ///< coordinator finalizes the view
+};
+
+/// One GC-to-GC protocol message. A single struct with optional fields keeps
+/// the codec simple; `kind` says which fields are meaningful.
+struct GcMessage {
+    GcKind kind{GcKind::kData};
+    MemberId sender{0};
+    /// Per-sender FIFO stream position for symmetric-order traffic (DATA and
+    /// ACK). The symmetric protocol's stability rule is only sound if each
+    /// sender's clock announcements arrive in order; plain NewTOP gets that
+    /// from TCP, but FS-wrapped GC outputs race over four redundant wire
+    /// paths, so receivers re-sequence by this number (hold-back queue).
+    std::uint64_t stream_seq{0};
+
+    // kData
+    ServiceType service{ServiceType::kSymmetricTotalOrder};
+    std::uint64_t sender_seq{0};   ///< per-sender sequence number
+    std::uint64_t lamport_ts{0};   ///< Lamport timestamp (symmetric/causal)
+    Bytes payload;
+    std::vector<std::uint64_t> vector_clock;  ///< causal order only
+
+    // kAck
+    // (lamport_ts carries the acker's clock)
+
+    // kOrder
+    std::uint64_t global_seq{0};
+    MemberId origin{0};            ///< original sender of the ordered message
+
+    // kViewPropose / kViewAck / kViewInstall
+    std::uint64_t view_id{0};
+    std::vector<MemberId> view_members;
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<GcMessage> decode(std::span<const std::uint8_t> data);
+
+    friend bool operator==(const GcMessage&, const GcMessage&) = default;
+};
+
+/// What the application hands to the Invocation service.
+struct MulticastRequest {
+    ServiceType service{ServiceType::kSymmetricTotalOrder};
+    Bytes payload;
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<MulticastRequest> decode(std::span<const std::uint8_t> data);
+};
+
+/// What the GC delivers up to the application layer.
+struct Delivery {
+    enum class Kind : std::uint8_t { kMessage = 1, kView = 2 };
+    Kind kind{Kind::kMessage};
+
+    /// Position in the GC's delivery stream (1, 2, 3, ...). The Invocation
+    /// layer re-sequences on this: FS-wrapped GC deliveries travel as
+    /// independent signed outputs and may overtake each other on the wire.
+    std::uint64_t delivery_seq{0};
+
+    // kMessage
+    MemberId sender{0};
+    ServiceType service{ServiceType::kSymmetricTotalOrder};
+    std::uint64_t sender_seq{0};
+    Bytes payload;
+
+    // kView
+    GroupView view;
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<Delivery> decode(std::span<const std::uint8_t> data);
+
+    friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+}  // namespace failsig::newtop

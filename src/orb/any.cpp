@@ -1,0 +1,111 @@
+#include "orb/any.hpp"
+
+namespace failsig::orb {
+
+namespace {
+enum Tag : std::uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kI64 = 2,
+    kU64 = 3,
+    kF64 = 4,
+    kString = 5,
+    kBytes = 6,
+    kSequence = 7,
+    kStruct = 8,
+};
+
+constexpr int kMaxDepth = 32;
+}  // namespace
+
+void Any::encode_into(ByteWriter& w) const {
+    std::visit(
+        [&w](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::monostate>) {
+                w.u8(kNull);
+            } else if constexpr (std::is_same_v<T, bool>) {
+                w.u8(kBool);
+                w.u8(v ? 1 : 0);
+            } else if constexpr (std::is_same_v<T, std::int64_t>) {
+                w.u8(kI64);
+                w.i64(v);
+            } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+                w.u8(kU64);
+                w.u64(v);
+            } else if constexpr (std::is_same_v<T, double>) {
+                w.u8(kF64);
+                w.f64(v);
+            } else if constexpr (std::is_same_v<T, std::string>) {
+                w.u8(kString);
+                w.str(v);
+            } else if constexpr (std::is_same_v<T, Bytes>) {
+                w.u8(kBytes);
+                w.bytes(v);
+            } else if constexpr (std::is_same_v<T, AnySequence>) {
+                w.u8(kSequence);
+                w.u32(static_cast<std::uint32_t>(v.size()));
+                for (const auto& item : v) item.encode_into(w);
+            } else if constexpr (std::is_same_v<T, AnyStruct>) {
+                w.u8(kStruct);
+                w.u32(static_cast<std::uint32_t>(v.size()));
+                for (const auto& [key, value] : v) {
+                    w.str(key);
+                    value.encode_into(w);
+                }
+            }
+        },
+        v_);
+}
+
+Bytes Any::encode() const {
+    ByteWriter w;
+    encode_into(w);
+    return w.take();
+}
+
+Any Any::decode_from(ByteReader& r, int depth) {
+    if (depth > kMaxDepth) throw std::out_of_range("Any: nesting too deep");
+    const auto tag = r.u8();
+    switch (tag) {
+        case kNull: return Any{};
+        case kBool: return Any{r.u8() != 0};
+        case kI64: return Any{r.i64()};
+        case kU64: return Any{r.u64()};
+        case kF64: return Any{r.f64()};
+        case kString: return Any{r.str()};
+        case kBytes: return Any{r.bytes()};
+        case kSequence: {
+            const auto n = r.u32();
+            if (n > r.remaining()) throw std::out_of_range("Any: sequence length lies");
+            AnySequence seq;
+            seq.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) seq.push_back(decode_from(r, depth + 1));
+            return Any{std::move(seq)};
+        }
+        case kStruct: {
+            const auto n = r.u32();
+            if (n > r.remaining()) throw std::out_of_range("Any: struct length lies");
+            AnyStruct st;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                auto key = r.str();
+                st.emplace(std::move(key), decode_from(r, depth + 1));
+            }
+            return Any{std::move(st)};
+        }
+        default: throw std::out_of_range("Any: unknown tag");
+    }
+}
+
+Result<Any> Any::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        Any v = decode_from(r);
+        if (!r.done()) return Result<Any>::err("trailing bytes after Any");
+        return v;
+    } catch (const std::out_of_range& e) {
+        return Result<Any>::err(e.what());
+    }
+}
+
+}  // namespace failsig::orb

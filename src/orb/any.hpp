@@ -1,0 +1,67 @@
+// `Any`: a self-describing tagged value, modelled on the CORBA `any` type.
+//
+// The NewTOP Invocation service "marshals a multicast message ... into a
+// generic CORBA type any" (paper §3); our Invocation service does the same
+// with this type. Supports null, bool, i64, u64, f64, string, bytes,
+// sequences, and named-field structs, with a compact binary encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace failsig::orb {
+
+class Any;
+
+using AnySequence = std::vector<Any>;
+using AnyStruct = std::map<std::string, Any>;
+
+class Any {
+public:
+    Any() = default;
+    Any(bool v) : v_(v) {}                          // NOLINT(google-explicit-constructor)
+    Any(std::int64_t v) : v_(v) {}                  // NOLINT(google-explicit-constructor)
+    Any(std::uint64_t v) : v_(v) {}                 // NOLINT(google-explicit-constructor)
+    Any(double v) : v_(v) {}                        // NOLINT(google-explicit-constructor)
+    Any(std::string v) : v_(std::move(v)) {}        // NOLINT(google-explicit-constructor)
+    Any(const char* v) : v_(std::string(v)) {}      // NOLINT(google-explicit-constructor)
+    Any(Bytes v) : v_(std::move(v)) {}              // NOLINT(google-explicit-constructor)
+    Any(AnySequence v) : v_(std::move(v)) {}        // NOLINT(google-explicit-constructor)
+    Any(AnyStruct v) : v_(std::move(v)) {}          // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+    template <typename T>
+    [[nodiscard]] bool is() const {
+        return std::holds_alternative<T>(v_);
+    }
+
+    /// Throws std::bad_variant_access on type mismatch.
+    template <typename T>
+    [[nodiscard]] const T& as() const {
+        return std::get<T>(v_);
+    }
+
+    friend bool operator==(const Any&, const Any&) = default;
+
+    /// Compact binary encoding (1 tag byte + value).
+    [[nodiscard]] Bytes encode() const;
+    void encode_into(ByteWriter& w) const;
+
+    static Result<Any> decode(std::span<const std::uint8_t> data);
+    /// Decodes one Any from the reader (for nested use); throws on truncation.
+    static Any decode_from(ByteReader& r, int depth = 0);
+
+private:
+    std::variant<std::monostate, bool, std::int64_t, std::uint64_t, double, std::string, Bytes,
+                 AnySequence, AnyStruct>
+        v_;
+};
+
+}  // namespace failsig::orb

@@ -1,0 +1,113 @@
+#include "orb/orb.hpp"
+
+#include "common/log.hpp"
+
+namespace failsig::orb {
+
+Orb::Orb(sim::Simulation& sim, net::SimNetwork& net, sim::SimThreadPool& pool, Endpoint endpoint,
+         const sim::CostModel& costs)
+    : sim_(sim),
+      net_(net),
+      pool_(pool),
+      endpoint_(endpoint),
+      costs_(costs),
+      alive_(std::make_shared<bool>(true)) {
+    net_.bind(endpoint_, [this](const net::Message& msg) { on_network_message(msg); });
+}
+
+Orb::~Orb() {
+    *alive_ = false;
+    net_.unbind(endpoint_);
+}
+
+ObjectRef Orb::activate(const std::string& key, Servant* servant) {
+    servants_[key] = servant;
+    return ObjectRef{endpoint_, key};
+}
+
+void Orb::deactivate(const std::string& key) { servants_.erase(key); }
+
+void Orb::add_client_interceptor(std::shared_ptr<ClientInterceptor> interceptor) {
+    client_interceptors_.push_back(std::move(interceptor));
+}
+
+void Orb::add_server_interceptor(std::shared_ptr<ServerInterceptor> interceptor) {
+    server_interceptors_.push_back(std::move(interceptor));
+}
+
+void Orb::invoke(const ObjectRef& target, const std::string& operation, Any args,
+                 ServiceContexts contexts) {
+    Request req;
+    req.object_key = target.key;
+    req.operation = operation;
+    req.args = std::move(args);
+    req.request_id = next_request_id_++;
+    req.contexts = std::move(contexts);
+    req.sender = endpoint_;
+
+    std::vector<ObjectRef> targets{target};
+    for (const auto& interceptor : client_interceptors_) {
+        interceptor->send_request(req, targets);
+    }
+
+    // Marshalling happens once per outgoing request on the sender's CPU.
+    const Duration marshal_cost = costs_.marshal(req.wire_size());
+    pool_.submit(marshal_cost, [this, req = std::move(req), targets = std::move(targets)] {
+        for (const auto& t : targets) {
+            Request per_target = req;
+            per_target.object_key = t.key;
+            ++requests_sent_;
+            net_.send(endpoint_, t.endpoint, per_target.encode());
+        }
+    });
+}
+
+void Orb::on_network_message(const net::Message& msg) {
+    auto decoded = Request::decode(msg.payload);
+    if (!decoded.has_value()) {
+        LogStream(LogLevel::kWarn, "orb") << to_string(endpoint_)
+                                          << " dropping undecodable request: "
+                                          << decoded.error().message;
+        return;
+    }
+    auto req = std::make_shared<Request>(std::move(decoded).value());
+    req->sender = msg.src;
+
+    const Duration cost = costs_.dispatch_fixed + costs_.marshal(req->wire_size());
+    // Guard against this ORB being destroyed while the task sits in the pool.
+    pool_.submit(cost, [this, alive = alive_, req] {
+        if (!*alive) return;
+        for (const auto& interceptor : server_interceptors_) {
+            if (!interceptor->receive_request(*req)) return;
+        }
+        const auto it = servants_.find(req->object_key);
+        if (it == servants_.end()) {
+            LogStream(LogLevel::kDebug, "orb")
+                << to_string(endpoint_) << " no servant for key '" << req->object_key << "'";
+            return;
+        }
+        ++requests_dispatched_;
+        it->second->dispatch(*req);
+    });
+}
+
+OrbDomain::OrbDomain(sim::Simulation& sim, net::SimNetwork& net, sim::CostModel costs,
+                     int threads_per_node)
+    : sim_(sim), net_(net), costs_(costs), threads_per_node_(threads_per_node) {}
+
+sim::SimThreadPool& OrbDomain::pool(NodeId node) {
+    auto it = pools_.find(node);
+    if (it == pools_.end()) {
+        it = pools_.emplace(node, std::make_unique<sim::SimThreadPool>(sim_, threads_per_node_))
+                 .first;
+    }
+    return *it->second;
+}
+
+Orb& OrbDomain::create_orb(NodeId node) {
+    const Endpoint endpoint{node, PortId{next_port_++}};
+    orbs_.push_back(std::make_unique<Orb>(sim_, net_, pool(node), endpoint, costs_));
+    return *orbs_.back();
+}
+
+}  // namespace failsig::orb

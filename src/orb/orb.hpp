@@ -1,0 +1,131 @@
+// Mini-ORB: location-independent oneway invocation with portable
+// interceptors and a per-node request-handling thread pool.
+//
+// This is the substrate the paper leans on (§3, §3.1):
+//  * location independence — callers hold ObjectRefs, never pointers, so a
+//    servant can live on any node ("that GC' is hosted on a different node
+//    to the Invocation layer will not matter since the communication between
+//    the two is via the ORB");
+//  * interceptors — requests can be observed/modified/fanned-out/suppressed
+//    on the fly, which is how FS wrapping stays transparent to the wrapped
+//    GC object ("a call to NewTOP GC ... is intercepted on the fly and is
+//    submitted to both GC and GC'");
+//  * a configurable thread pool (default 10) handling incoming requests —
+//    the contention source behind Figure 7's throughput shape.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "orb/request.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace failsig::orb {
+
+class Orb;
+
+/// An object implementation. dispatch() runs on the ORB's (simulated) pool
+/// after unmarshalling; it may invoke other objects via its Orb.
+class Servant {
+public:
+    virtual ~Servant() = default;
+    virtual void dispatch(const Request& request) = 0;
+};
+
+/// Client-side interceptor: sees every outgoing request before marshalling.
+/// It may mutate the request (e.g. add signature service contexts) and may
+/// rewrite the target list (e.g. fan a GC-bound call out to FSO and FSO').
+class ClientInterceptor {
+public:
+    virtual ~ClientInterceptor() = default;
+    virtual void send_request(Request& request, std::vector<ObjectRef>& targets) = 0;
+};
+
+/// Server-side interceptor: sees every incoming request after unmarshalling
+/// and before servant dispatch. Returning false suppresses delivery (used to
+/// drop duplicate double-signed responses and reject bad signatures).
+class ServerInterceptor {
+public:
+    virtual ~ServerInterceptor() = default;
+    virtual bool receive_request(Request& request) = 0;
+};
+
+/// One ORB instance; binds one endpoint on its node and hosts any number of
+/// servants keyed by object key.
+class Orb {
+public:
+    Orb(sim::Simulation& sim, net::SimNetwork& net, sim::SimThreadPool& pool, Endpoint endpoint,
+        const sim::CostModel& costs);
+    ~Orb();
+
+    Orb(const Orb&) = delete;
+    Orb& operator=(const Orb&) = delete;
+
+    /// Registers `servant` under `key`; returns its location-independent ref.
+    ObjectRef activate(const std::string& key, Servant* servant);
+    void deactivate(const std::string& key);
+
+    /// Oneway invocation through the client interceptor chain.
+    void invoke(const ObjectRef& target, const std::string& operation, Any args,
+                ServiceContexts contexts = {});
+
+    void add_client_interceptor(std::shared_ptr<ClientInterceptor> interceptor);
+    void add_server_interceptor(std::shared_ptr<ServerInterceptor> interceptor);
+
+    [[nodiscard]] Endpoint endpoint() const { return endpoint_; }
+    [[nodiscard]] NodeId node() const { return endpoint_.node; }
+    [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+    [[nodiscard]] sim::SimThreadPool& pool() { return pool_; }
+    [[nodiscard]] const sim::CostModel& costs() const { return costs_; }
+
+    [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
+    [[nodiscard]] std::uint64_t requests_dispatched() const { return requests_dispatched_; }
+
+private:
+    void on_network_message(const net::Message& msg);
+
+    sim::Simulation& sim_;
+    net::SimNetwork& net_;
+    sim::SimThreadPool& pool_;
+    Endpoint endpoint_;
+    sim::CostModel costs_;
+    std::uint64_t next_request_id_{1};
+    std::unordered_map<std::string, Servant*> servants_;
+    std::vector<std::shared_ptr<ClientInterceptor>> client_interceptors_;
+    std::vector<std::shared_ptr<ServerInterceptor>> server_interceptors_;
+    std::uint64_t requests_sent_{0};
+    std::uint64_t requests_dispatched_{0};
+    std::shared_ptr<bool> alive_;
+};
+
+/// Factory and registry for ORBs: owns one thread pool per node so that
+/// collocated ORBs (e.g. FSO_i and FSO'_j on one host in the paper's
+/// Figure 5 set-up) contend for the same simulated CPU.
+class OrbDomain {
+public:
+    OrbDomain(sim::Simulation& sim, net::SimNetwork& net, sim::CostModel costs,
+              int threads_per_node = 10);
+
+    /// Creates an ORB on `node` with a fresh port.
+    Orb& create_orb(NodeId node);
+
+    [[nodiscard]] sim::SimThreadPool& pool(NodeId node);
+    [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+    [[nodiscard]] net::SimNetwork& network() { return net_; }
+    [[nodiscard]] const sim::CostModel& costs() const { return costs_; }
+
+private:
+    sim::Simulation& sim_;
+    net::SimNetwork& net_;
+    sim::CostModel costs_;
+    int threads_per_node_;
+    std::uint32_t next_port_{1};
+    std::unordered_map<NodeId, std::unique_ptr<sim::SimThreadPool>> pools_;
+    std::vector<std::unique_ptr<Orb>> orbs_;
+};
+
+}  // namespace failsig::orb

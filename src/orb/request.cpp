@@ -1,0 +1,56 @@
+#include "orb/request.hpp"
+
+namespace failsig::orb {
+
+Bytes Request::encode() const {
+    ByteWriter w;
+    w.str(object_key);
+    w.str(operation);
+    const Bytes args_wire = args.encode();
+    w.bytes(args_wire);
+    w.u32(reply_to.endpoint.node.value);
+    w.u32(reply_to.endpoint.port.value);
+    w.str(reply_to.key);
+    w.u64(request_id);
+    w.u32(static_cast<std::uint32_t>(contexts.size()));
+    for (const auto& [name, blob] : contexts) {
+        w.str(name);
+        w.bytes(blob);
+    }
+    return w.take();
+}
+
+Result<Request> Request::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        Request req;
+        req.object_key = r.str();
+        req.operation = r.str();
+        const Bytes args_wire = r.bytes();
+        auto args = Any::decode(args_wire);
+        if (!args.has_value()) return Result<Request>::err("bad args: " + args.error().message);
+        req.args = std::move(args).value();
+        req.reply_to.endpoint.node.value = r.u32();
+        req.reply_to.endpoint.port.value = r.u32();
+        req.reply_to.key = r.str();
+        req.request_id = r.u64();
+        const auto n = r.u32();
+        if (n > 64) return Result<Request>::err("implausible context count");
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto name = r.str();
+            req.contexts.emplace(std::move(name), r.bytes());
+        }
+        if (!r.done()) return Result<Request>::err("trailing bytes in request");
+        return req;
+    } catch (const std::out_of_range&) {
+        return Result<Request>::err("truncated request");
+    }
+}
+
+std::size_t Request::wire_size() const {
+    std::size_t size = object_key.size() + operation.size() + args.encode().size();
+    for (const auto& [name, blob] : contexts) size += name.size() + blob.size();
+    return size;
+}
+
+}  // namespace failsig::orb

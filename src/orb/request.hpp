@@ -1,0 +1,53 @@
+// ORB request model: object references, service contexts and the wire codec.
+//
+// An ObjectRef is an IOR-lite: the endpoint the object's ORB listens on plus
+// the object key. Service contexts are named byte blobs piggybacked on a
+// request — exactly the CORBA mechanism that signature-carrying interceptors
+// use (the FS wrappers put single/double signatures there, transparently to
+// the target object).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "orb/any.hpp"
+
+namespace failsig::orb {
+
+/// Location-independent object reference.
+struct ObjectRef {
+    Endpoint endpoint;
+    std::string key;
+
+    friend auto operator<=>(const ObjectRef&, const ObjectRef&) = default;
+};
+
+/// Named out-of-band blobs attached to a request (CORBA service contexts).
+using ServiceContexts = std::map<std::string, Bytes>;
+
+/// A oneway invocation in flight.
+struct Request {
+    std::string object_key;    ///< target object on the receiving ORB
+    std::string operation;     ///< operation name
+    Any args;                  ///< marshalled arguments
+    ObjectRef reply_to;        ///< where responses should be directed (optional)
+    std::uint64_t request_id{0};
+    ServiceContexts contexts;  ///< interceptor-managed metadata (signatures &c)
+    Endpoint sender;           ///< filled in by the receiving ORB
+
+    [[nodiscard]] Bytes encode() const;
+    static Result<Request> decode(std::span<const std::uint8_t> data);
+
+    /// Payload size proxy used by the cost model (args + contexts).
+    [[nodiscard]] std::size_t wire_size() const;
+};
+
+inline std::string to_string(const ObjectRef& ref) {
+    return to_string(ref.endpoint) + "/" + ref.key;
+}
+
+}  // namespace failsig::orb

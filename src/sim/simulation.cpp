@@ -1,0 +1,65 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+namespace failsig::sim {
+
+Simulation::EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
+    const EventId id = next_id_++;
+    queue_.push(Event{std::max(at, now_), id});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+}
+
+bool Simulation::cancel(EventId id) {
+    const auto it = handlers_.find(id);
+    if (it == handlers_.end()) return false;
+    handlers_.erase(it);
+    cancelled_.insert(id);
+    return true;
+}
+
+bool Simulation::step() {
+    while (!queue_.empty()) {
+        const Event ev = queue_.top();
+        queue_.pop();
+        const auto cancelled_it = cancelled_.find(ev.id);
+        if (cancelled_it != cancelled_.end()) {
+            cancelled_.erase(cancelled_it);
+            continue;
+        }
+        auto handler_it = handlers_.find(ev.id);
+        EventFn fn = std::move(handler_it->second);
+        handlers_.erase(handler_it);
+        now_ = ev.at;
+        ++events_fired_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+    std::size_t fired = 0;
+    while (fired < max_events && step()) ++fired;
+    return fired;
+}
+
+std::size_t Simulation::run_until(TimePoint until) {
+    std::size_t fired = 0;
+    while (!queue_.empty()) {
+        const Event ev = queue_.top();
+        if (cancelled_.contains(ev.id)) {
+            queue_.pop();
+            cancelled_.erase(ev.id);
+            continue;
+        }
+        if (ev.at > until) break;
+        step();
+        ++fired;
+    }
+    now_ = std::max(now_, until);
+    return fired;
+}
+
+}  // namespace failsig::sim

@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulation core.
+//
+// Everything in a failsig deployment — protocol handlers, CPU execution,
+// network delivery, timeouts — runs as events on one `Simulation`. Events at
+// equal timestamps fire in scheduling order, so a run is a pure function of
+// (code, seeds): every experiment and test is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace failsig::sim {
+
+class Simulation {
+public:
+    using EventId = std::uint64_t;
+    using EventFn = std::function<void()>;
+
+    Simulation() = default;
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    [[nodiscard]] TimePoint now() const { return now_; }
+
+    /// Schedules `fn` at absolute time `at` (clamped to now()).
+    EventId schedule_at(TimePoint at, EventFn fn);
+
+    /// Schedules `fn` after `delay` from now.
+    EventId schedule_after(Duration delay, EventFn fn) {
+        return schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Cancels a pending event. Returns false if it already fired or is unknown.
+    bool cancel(EventId id);
+
+    /// Runs the next event; returns false when the queue is empty.
+    bool step();
+
+    /// Runs until the queue empties or `max_events` fire; returns events fired.
+    std::size_t run(std::size_t max_events = SIZE_MAX);
+
+    /// Runs all events with timestamp <= `until`, then advances now() to
+    /// `until`. Returns events fired.
+    std::size_t run_until(TimePoint until);
+
+    [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+    [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+    [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+
+private:
+    struct Event {
+        TimePoint at;
+        EventId id;
+        // Ordering: earliest time first; FIFO among equal times via id.
+        bool operator>(const Event& other) const {
+            if (at != other.at) return at > other.at;
+            return id > other.id;
+        }
+    };
+
+    TimePoint now_{0};
+    EventId next_id_{1};
+    std::uint64_t events_fired_{0};
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::unordered_map<EventId, EventFn> handlers_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace failsig::sim

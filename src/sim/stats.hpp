@@ -1,0 +1,55 @@
+// Sample accumulator for experiment measurements (latency, throughput).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace failsig::sim {
+
+class Stats {
+public:
+    void add(double sample) { samples_.push_back(sample); }
+
+    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+    [[nodiscard]] double mean() const {
+        if (samples_.empty()) return 0.0;
+        double sum = 0.0;
+        for (const double s : samples_) sum += s;
+        return sum / static_cast<double>(samples_.size());
+    }
+
+    [[nodiscard]] double min() const {
+        return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    [[nodiscard]] double max() const {
+        return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /// q in [0, 1]; nearest-rank percentile.
+    [[nodiscard]] double percentile(double q) const {
+        if (samples_.empty()) return 0.0;
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+        return sorted[idx];
+    }
+
+    [[nodiscard]] double stddev() const {
+        if (samples_.size() < 2) return 0.0;
+        const double m = mean();
+        double acc = 0.0;
+        for (const double s : samples_) acc += (s - m) * (s - m);
+        return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+    }
+
+private:
+    std::vector<double> samples_;
+};
+
+}  // namespace failsig::sim

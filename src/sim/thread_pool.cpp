@@ -1,0 +1,54 @@
+#include "sim/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace failsig::sim {
+
+SimThreadPool::SimThreadPool(Simulation& sim, int workers) : sim_(sim), workers_(workers) {
+    if (workers < 1) throw std::invalid_argument("SimThreadPool: need >= 1 worker");
+}
+
+void SimThreadPool::submit(Duration cost, std::function<void()> on_complete) {
+    Task task{cost, std::move(on_complete)};
+    if (busy_ < workers_) {
+        start(std::move(task));
+    } else {
+        queue_.push_back(std::move(task));
+    }
+}
+
+void SimThreadPool::submit_priority(Duration cost, std::function<void()> on_complete) {
+    Task task{cost, std::move(on_complete)};
+    if (busy_ < workers_) {
+        start(std::move(task));
+    } else {
+        priority_queue_.push_back(std::move(task));  // FIFO within the lane
+    }
+}
+
+void SimThreadPool::start(Task task) {
+    ++busy_;
+    const Duration cost = task.cost;
+    sim_.schedule_after(cost, [this, task = std::move(task)]() mutable { finish(std::move(task)); });
+}
+
+void SimThreadPool::finish(Task task) {
+    ++tasks_completed_;
+    busy_time_ += task.cost;
+    // The completion callback runs while this worker still counts as busy:
+    // tasks submitted from inside a callback must join the queue like
+    // everyone else, not steal the worker that is about to free up.
+    if (task.fn) task.fn();
+    --busy_;
+    if (busy_ < workers_) {
+        auto& source = !priority_queue_.empty() ? priority_queue_ : queue_;
+        if (!source.empty()) {
+            Task next = std::move(source.front());
+            source.pop_front();
+            start(std::move(next));
+        }
+    }
+}
+
+}  // namespace failsig::sim

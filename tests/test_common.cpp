@@ -1,0 +1,167 @@
+// Unit tests for common utilities: byte codecs, hex, rng determinism, Result.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace failsig {
+namespace {
+
+TEST(Hex, RoundTrip) {
+    const Bytes b = {0x00, 0xff, 0x10, 0xab};
+    EXPECT_EQ(to_hex(b), "00ff10ab");
+    EXPECT_EQ(from_hex("00ff10ab"), b);
+    EXPECT_EQ(from_hex("00FF10AB"), b);
+}
+
+TEST(Hex, RejectsBadInput) {
+    EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+    EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(Bytes, StringConversions) {
+    EXPECT_EQ(string_of(bytes_of("hello")), "hello");
+    EXPECT_TRUE(bytes_of("").empty());
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+    EXPECT_TRUE(constant_time_equal(bytes_of("abc"), bytes_of("abc")));
+    EXPECT_FALSE(constant_time_equal(bytes_of("abc"), bytes_of("abd")));
+    EXPECT_FALSE(constant_time_equal(bytes_of("abc"), bytes_of("ab")));
+    EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(ByteWriterReader, PrimitivesRoundTrip) {
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(3.14159);
+    w.str("total-order");
+    w.bytes(Bytes{9, 8, 7});
+
+    ByteReader r(w.view());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "total-order");
+    EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+    EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, TruncatedInputThrows) {
+    ByteWriter w;
+    w.u32(123);
+    ByteReader r(w.view());
+    (void)r.u16();
+    (void)r.u16();
+    EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(ByteReader, LengthPrefixBeyondEndThrows) {
+    ByteWriter w;
+    w.u32(1000);  // claims 1000 bytes follow, none do
+    ByteReader r(w.view());
+    EXPECT_THROW(r.bytes(), std::out_of_range);
+}
+
+TEST(ByteReader, RestReturnsRemainder) {
+    ByteWriter w;
+    w.u8(1);
+    w.raw(Bytes{2, 3, 4});
+    ByteReader r(w.view());
+    (void)r.u8();
+    EXPECT_EQ(r.rest(), (Bytes{2, 3, 4}));
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.uniform(17), 17u);
+        const auto v = rng.uniform_range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ExponentialIsPositiveWithRoughMean) {
+    Rng rng(7);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.exponential(100.0);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(42);
+    Rng b = a.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Result, ValueAndError) {
+    Result<int> ok = Result<int>::ok(7);
+    EXPECT_TRUE(ok.has_value());
+    EXPECT_EQ(ok.value(), 7);
+
+    Result<int> err = Result<int>::err("boom");
+    EXPECT_FALSE(err.has_value());
+    EXPECT_EQ(err.error().message, "boom");
+    EXPECT_THROW((void)err.value(), std::runtime_error);
+}
+
+TEST(Types, EndpointOrderingAndHash) {
+    const Endpoint a{NodeId{1}, PortId{2}};
+    const Endpoint b{NodeId{1}, PortId{3}};
+    const Endpoint c{NodeId{2}, PortId{0}};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(to_string(a), "n1:p2");
+    EXPECT_NE(std::hash<Endpoint>{}(a), std::hash<Endpoint>{}(b));
+}
+
+TEST(Types, EnsureThrowsOnViolation) {
+    EXPECT_NO_THROW(ensure(true, "fine"));
+    EXPECT_THROW(ensure(false, "bad"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace failsig

@@ -1,0 +1,509 @@
+// NewTOP tests: wire codecs, the GC state machine driven directly through an
+// in-memory message router (protocol-level properties under randomized
+// network interleavings), and full simulated deployments (ORB + network +
+// suspector), including the false-suspicion group split that motivates the
+// paper.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "newtop/deployment.hpp"
+
+namespace failsig::newtop {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+TEST(NewTopWire, GcMessageRoundTrip) {
+    GcMessage m;
+    m.kind = GcKind::kOrder;
+    m.sender = 3;
+    m.service = ServiceType::kAsymmetricTotalOrder;
+    m.sender_seq = 7;
+    m.lamport_ts = 100;
+    m.payload = bytes_of("payload");
+    m.vector_clock = {1, 2, 3};
+    m.global_seq = 55;
+    m.origin = 2;
+    m.view_id = 4;
+    m.view_members = {0, 1, 2};
+    const auto decoded = GcMessage::decode(m.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value(), m);
+}
+
+TEST(NewTopWire, GcMessageRejectsBadKind) {
+    GcMessage m;
+    Bytes wire = m.encode();
+    wire[0] = 99;
+    EXPECT_FALSE(GcMessage::decode(wire).has_value());
+}
+
+TEST(NewTopWire, MulticastRequestRoundTrip) {
+    MulticastRequest r;
+    r.service = ServiceType::kCausalOrder;
+    r.payload = bytes_of("x");
+    const auto decoded = MulticastRequest::decode(r.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value().service, ServiceType::kCausalOrder);
+    EXPECT_EQ(decoded.value().payload, bytes_of("x"));
+}
+
+TEST(NewTopWire, DeliveryRoundTrip) {
+    Delivery d;
+    d.kind = Delivery::Kind::kView;
+    d.view.view_id = 9;
+    d.view.members = {1, 4};
+    const auto decoded = Delivery::decode(d.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value(), d);
+}
+
+TEST(NewTopWire, TruncationRejected) {
+    GcMessage m;
+    m.payload = Bytes(100, 1);
+    Bytes wire = m.encode();
+    wire.resize(10);
+    EXPECT_FALSE(GcMessage::decode(wire).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// In-memory protocol harness: drives GcService instances directly, with
+// randomized cross-link interleaving but FIFO per directed link (matching
+// the reliable-FIFO channel assumption).
+// ---------------------------------------------------------------------------
+
+class Harness {
+public:
+    explicit Harness(int n, std::uint64_t seed = 1) : rng_(seed) {
+        std::vector<MemberId> ids;
+        for (int i = 0; i < n; ++i) ids.push_back(static_cast<MemberId>(i));
+        for (int i = 0; i < n; ++i) {
+            GcConfig cfg;
+            cfg.self = static_cast<MemberId>(i);
+            cfg.initial_members = ids;
+            for (int j = 0; j < n; ++j) {
+                if (j != i) {
+                    cfg.peers[static_cast<MemberId>(j)] =
+                        fs::Destination::fs("m:" + std::to_string(j));
+                }
+            }
+            cfg.delivery = fs::Destination::fs("app");
+            members_.push_back(std::make_unique<GcService>(cfg));
+            deliveries_.emplace_back();
+            views_.emplace_back();
+        }
+    }
+
+    GcService& member(int i) { return *members_[static_cast<std::size_t>(i)]; }
+
+    void multicast(int from, ServiceType svc, const std::string& text) {
+        MulticastRequest req;
+        req.service = svc;
+        req.payload = bytes_of(text);
+        route(from, members_[static_cast<std::size_t>(from)]->process("multicast", req.encode()));
+    }
+
+    void suspect(int at, MemberId who) {
+        ByteWriter w;
+        w.u32(who);
+        route(at, members_[static_cast<std::size_t>(at)]->process("suspect", w.take()));
+    }
+
+    /// Cuts both directions between a and b (messages silently dropped).
+    void disconnect(int a, int b) {
+        cut_.insert({a, b});
+        cut_.insert({b, a});
+    }
+
+    /// Pumps until quiescent, choosing a random non-empty link each step.
+    void run() {
+        while (true) {
+            std::vector<std::pair<int, int>> ready;
+            for (auto& [link, queue] : links_) {
+                if (!queue.empty()) ready.push_back(link);
+            }
+            if (ready.empty()) break;
+            const auto link = ready[rng_.uniform(ready.size())];
+            auto [op, body] = std::move(links_[link].front());
+            links_[link].pop_front();
+            const int dst = link.second;
+            route(dst, members_[static_cast<std::size_t>(dst)]->process(op, body));
+        }
+    }
+
+    /// Delivered payload texts at member i, with sender prefix "s:text".
+    std::vector<std::string> delivered(int i) const { return deliveries_[static_cast<std::size_t>(i)]; }
+    const std::vector<GroupView>& views(int i) const { return views_[static_cast<std::size_t>(i)]; }
+
+private:
+    void route(int from, const std::vector<fs::Outbound>& outputs) {
+        for (const auto& out : outputs) {
+            for (const auto& dest : out.dests) {
+                if (dest.fs_name == "app") {
+                    auto d = Delivery::decode(out.body);
+                    ASSERT_TRUE(d.has_value());
+                    if (d.value().kind == Delivery::Kind::kView) {
+                        views_[static_cast<std::size_t>(from)].push_back(d.value().view);
+                    } else {
+                        deliveries_[static_cast<std::size_t>(from)].push_back(
+                            std::to_string(d.value().sender) + ":" +
+                            string_of(d.value().payload));
+                    }
+                } else {
+                    const int to = std::stoi(dest.fs_name.substr(2));
+                    if (cut_.contains({from, to})) continue;
+                    links_[{from, to}].emplace_back(out.operation, out.body);
+                }
+            }
+        }
+    }
+
+    Rng rng_;
+    std::vector<std::unique_ptr<GcService>> members_;
+    std::map<std::pair<int, int>, std::deque<std::pair<std::string, Bytes>>> links_;
+    std::set<std::pair<int, int>> cut_;
+    std::vector<std::vector<std::string>> deliveries_;
+    std::vector<std::vector<GroupView>> views_;
+};
+
+// --- symmetric total order -------------------------------------------------
+
+class SymTotalOrderTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SymTotalOrderTest, AllMembersDeliverIdenticalSequences) {
+    const auto [n, seed] = GetParam();
+    Harness h(n, static_cast<std::uint64_t>(seed));
+    // Interleaved multicasts from every member.
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < n; ++i) {
+            h.multicast(i, ServiceType::kSymmetricTotalOrder,
+                        "r" + std::to_string(round) + "m" + std::to_string(i));
+        }
+    }
+    h.run();
+
+    const auto reference = h.delivered(0);
+    EXPECT_EQ(reference.size(), static_cast<std::size_t>(5 * n)) << "all messages delivered";
+    for (int i = 1; i < n; ++i) {
+        EXPECT_EQ(h.delivered(i), reference) << "member " << i << " disagrees on total order";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupsAndSeeds, SymTotalOrderTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Values(1, 42, 777)));
+
+TEST(SymTotalOrder, SingleMemberDeliversImmediately) {
+    Harness h(1);
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "solo");
+    h.run();
+    EXPECT_EQ(h.delivered(0), std::vector<std::string>{"0:solo"});
+}
+
+TEST(SymTotalOrder, SenderDeliversItsOwnMessages) {
+    Harness h(3);
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "a");
+    h.run();
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(h.delivered(i), std::vector<std::string>{"0:a"});
+    }
+}
+
+// --- asymmetric total order --------------------------------------------------
+
+class AsymTotalOrderTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AsymTotalOrderTest, AllMembersDeliverIdenticalSequences) {
+    const auto [n, seed] = GetParam();
+    Harness h(n, static_cast<std::uint64_t>(seed));
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < n; ++i) {
+            h.multicast(i, ServiceType::kAsymmetricTotalOrder,
+                        "r" + std::to_string(round) + "m" + std::to_string(i));
+        }
+    }
+    h.run();
+    const auto reference = h.delivered(0);
+    EXPECT_EQ(reference.size(), static_cast<std::size_t>(5 * n));
+    for (int i = 1; i < n; ++i) EXPECT_EQ(h.delivered(i), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupsAndSeeds, AsymTotalOrderTest,
+                         ::testing::Combine(::testing::Values(2, 4, 7),
+                                            ::testing::Values(3, 99)));
+
+TEST(AsymTotalOrder, SequencerIsTheCoordinator) {
+    Harness h(3);
+    // Member 2 multicasts; only the sequencer (member 0) assigns the order.
+    h.multicast(2, ServiceType::kAsymmetricTotalOrder, "x");
+    h.run();
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(h.delivered(i), std::vector<std::string>{"2:x"});
+    }
+}
+
+// --- causal order -------------------------------------------------------------
+
+TEST(CausalOrder, CauseDeliversBeforeEffectEverywhere) {
+    // Member 0 multicasts "question"; member 1, having seen it, multicasts
+    // "answer". No member may deliver the answer before the question.
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        Harness h(4, seed);
+        h.multicast(0, ServiceType::kCausalOrder, "question");
+        h.run();  // member 1 now saw the question
+        h.multicast(1, ServiceType::kCausalOrder, "answer");
+        h.run();
+        for (int i = 0; i < 4; ++i) {
+            const auto d = h.delivered(i);
+            const auto q = std::find(d.begin(), d.end(), "0:question");
+            const auto a = std::find(d.begin(), d.end(), "1:answer");
+            ASSERT_NE(q, d.end());
+            ASSERT_NE(a, d.end());
+            EXPECT_LT(q - d.begin(), a - d.begin()) << "causality violated at member " << i;
+        }
+    }
+}
+
+TEST(CausalOrder, ConcurrentMessagesAllDelivered) {
+    Harness h(3, 9);
+    h.multicast(0, ServiceType::kCausalOrder, "a");
+    h.multicast(1, ServiceType::kCausalOrder, "b");
+    h.multicast(2, ServiceType::kCausalOrder, "c");
+    h.run();
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(h.delivered(i).size(), 3u);
+}
+
+// --- reliable / unreliable multicast ---------------------------------------------
+
+TEST(ReliableMulticast, PerSenderFifoHolds) {
+    Harness h(3, 5);
+    for (int k = 0; k < 10; ++k) {
+        h.multicast(0, ServiceType::kReliableMulticast, "m" + std::to_string(k));
+    }
+    h.run();
+    for (int i = 0; i < 3; ++i) {
+        const auto d = h.delivered(i);
+        ASSERT_EQ(d.size(), 10u);
+        for (int k = 0; k < 10; ++k) {
+            EXPECT_EQ(d[static_cast<std::size_t>(k)], "0:m" + std::to_string(k));
+        }
+    }
+}
+
+TEST(UnreliableMulticast, DeliversOnReceipt) {
+    Harness h(2);
+    h.multicast(0, ServiceType::kUnreliableMulticast, "u");
+    h.run();
+    EXPECT_EQ(h.delivered(1), std::vector<std::string>{"0:u"});
+}
+
+// --- membership -----------------------------------------------------------------
+
+TEST(Membership, SuspicionShrinksViewAtAllCorrectMembers) {
+    Harness h(4, 11);
+    // Everyone suspects member 3 (e.g. it crashed).
+    h.disconnect(0, 3);
+    h.disconnect(1, 3);
+    h.disconnect(2, 3);
+    h.suspect(0, 3);
+    h.suspect(1, 3);
+    h.suspect(2, 3);
+    h.run();
+    for (int i = 0; i < 3; ++i) {
+        const GroupView& v = h.member(i).view();
+        EXPECT_EQ(v.members, (std::vector<MemberId>{0, 1, 2})) << "member " << i;
+        EXPECT_GT(v.view_id, 1u);
+    }
+}
+
+TEST(Membership, ViewsAgreeOnViewId) {
+    Harness h(3, 13);
+    h.disconnect(0, 2);
+    h.disconnect(1, 2);
+    h.suspect(0, 2);
+    h.suspect(1, 2);
+    h.run();
+    EXPECT_EQ(h.member(0).view(), h.member(1).view());
+}
+
+TEST(Membership, TotalOrderResumesAfterViewChange) {
+    Harness h(3, 17);
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "before");
+    h.run();
+    h.disconnect(0, 2);
+    h.disconnect(1, 2);
+    h.suspect(0, 2);
+    h.suspect(1, 2);
+    h.run();
+    h.multicast(1, ServiceType::kSymmetricTotalOrder, "after");
+    h.run();
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(h.delivered(i), (std::vector<std::string>{"0:before", "1:after"}))
+            << "member " << i;
+    }
+}
+
+TEST(Membership, StabilityBlockedByCrashedMemberReleasesOnViewChange) {
+    // A symmetric-TO message cannot stabilize while a silent member never
+    // acks; removing the member via a view change must release it.
+    Harness h(3, 19);
+    h.disconnect(0, 2);
+    h.disconnect(1, 2);
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "stuck");
+    h.run();
+    EXPECT_TRUE(h.delivered(0).empty()) << "message delivered without full acknowledgement";
+    h.suspect(0, 2);
+    h.suspect(1, 2);
+    h.run();
+    EXPECT_EQ(h.delivered(0), std::vector<std::string>{"0:stuck"});
+    EXPECT_EQ(h.delivered(1), std::vector<std::string>{"0:stuck"});
+}
+
+TEST(Membership, DisjointSuspicionsSplitTheGroup) {
+    // Partitionable semantics: {0,1} and {2,3} mutually suspect each other
+    // and form two sub-views — the group has split.
+    Harness h(4, 23);
+    for (const int a : {0, 1}) {
+        for (const int b : {2, 3}) {
+            h.disconnect(a, b);
+        }
+    }
+    h.suspect(0, 2);
+    h.suspect(0, 3);
+    h.suspect(1, 2);
+    h.suspect(1, 3);
+    h.suspect(2, 0);
+    h.suspect(2, 1);
+    h.suspect(3, 0);
+    h.suspect(3, 1);
+    h.run();
+    EXPECT_EQ(h.member(0).view().members, (std::vector<MemberId>{0, 1}));
+    EXPECT_EQ(h.member(1).view().members, (std::vector<MemberId>{0, 1}));
+    EXPECT_EQ(h.member(2).view().members, (std::vector<MemberId>{2, 3}));
+    EXPECT_EQ(h.member(3).view().members, (std::vector<MemberId>{2, 3}));
+}
+
+TEST(Membership, CascadingSuspicionsShrinkToSingleton)
+{
+    Harness h(3, 29);
+    h.disconnect(0, 1);
+    h.disconnect(0, 2);
+    h.suspect(0, 1);
+    h.suspect(0, 2);
+    h.run();
+    EXPECT_EQ(h.member(0).view().members, (std::vector<MemberId>{0}));
+}
+
+TEST(Membership, SelfSuspicionIgnored) {
+    Harness h(2);
+    h.suspect(0, 0);
+    h.run();
+    EXPECT_EQ(h.member(0).view().members, (std::vector<MemberId>{0, 1}));
+}
+
+TEST(Membership, ViewDeliveryReportedToApplication) {
+    Harness h(3, 31);
+    h.disconnect(0, 2);
+    h.disconnect(1, 2);
+    h.suspect(0, 2);
+    h.suspect(1, 2);
+    h.run();
+    ASSERT_FALSE(h.views(0).empty());
+    EXPECT_EQ(h.views(0).back().members, (std::vector<MemberId>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Full simulated deployment (ORB + network + thread pools)
+// ---------------------------------------------------------------------------
+
+TEST(NewTopDeployment, SymmetricTotalOrderAcrossTheWire) {
+    NewTopOptions opts;
+    opts.group_size = 4;
+    NewTopDeployment d(opts);
+
+    std::vector<std::vector<std::string>> delivered(4);
+    for (int i = 0; i < 4; ++i) {
+        d.invocation(i).on_delivery([&delivered, i](const Delivery& dl) {
+            delivered[static_cast<std::size_t>(i)].push_back(std::to_string(dl.sender) + ":" +
+                                                             string_of(dl.payload));
+        });
+    }
+    for (int k = 0; k < 5; ++k) {
+        for (int i = 0; i < 4; ++i) {
+            d.invocation(i).multicast(ServiceType::kSymmetricTotalOrder,
+                                      bytes_of("k" + std::to_string(k) + "i" + std::to_string(i)));
+        }
+    }
+    d.sim().run();
+
+    EXPECT_EQ(delivered[0].size(), 20u);
+    for (int i = 1; i < 4; ++i) EXPECT_EQ(delivered[static_cast<std::size_t>(i)], delivered[0]);
+}
+
+TEST(NewTopDeployment, CrashDetectionRemovesMemberFromView) {
+    NewTopOptions opts;
+    opts.group_size = 3;
+    opts.start_suspectors = true;
+    opts.suspector.ping_interval = 50 * kMillisecond;
+    opts.suspector.suspect_timeout = 300 * kMillisecond;
+    NewTopDeployment d(opts);
+
+    // "Crash" member 2 by cutting its node off the network.
+    d.network().block(d.node_of(2), d.node_of(0));
+    d.network().block(d.node_of(2), d.node_of(1));
+
+    d.sim().run_until(3 * kSecond);
+    d.stop_suspectors();
+    d.sim().run();
+
+    EXPECT_EQ(d.gc(0).view().members, (std::vector<MemberId>{0, 1}));
+    EXPECT_EQ(d.gc(1).view().members, (std::vector<MemberId>{0, 1}));
+    EXPECT_GT(d.suspector(0).suspicions_raised(), 0u);
+}
+
+TEST(NewTopDeployment, FalseSuspicionSplitsGroupWithoutAnyFailure) {
+    // The paper's motivating pathology: a delay surge (no crash!) makes the
+    // timeout-based suspectors fire, and connected, operational processes
+    // split into sub-groups.
+    NewTopOptions opts;
+    opts.group_size = 3;
+    opts.start_suspectors = true;
+    opts.suspector.ping_interval = 50 * kMillisecond;
+    opts.suspector.suspect_timeout = 200 * kMillisecond;
+    NewTopDeployment d(opts);
+
+    d.sim().run_until(500 * kMillisecond);  // healthy phase
+    EXPECT_EQ(d.gc(0).view().members, (std::vector<MemberId>{0, 1, 2}));
+
+    // Delay surge far above the suspect timeout, for 2 simulated seconds.
+    d.network().delay_surge(1 * kSecond, d.sim().now() + 2 * kSecond);
+    d.sim().run_until(d.sim().now() + 5 * kSecond);
+    d.stop_suspectors();
+    d.sim().run();
+
+    // At least one member no longer has the full view: the group split even
+    // though no process failed.
+    const bool split = d.gc(0).view().members.size() < 3 ||
+                       d.gc(1).view().members.size() < 3 ||
+                       d.gc(2).view().members.size() < 3;
+    EXPECT_TRUE(split);
+}
+
+TEST(NewTopDeployment, MessageSizeAffectsNothingButPayload) {
+    NewTopOptions opts;
+    opts.group_size = 2;
+    NewTopDeployment d(opts);
+    std::vector<Bytes> got;
+    d.invocation(1).on_delivery([&](const Delivery& dl) { got.push_back(dl.payload); });
+    const Bytes big(10000, 0xab);
+    d.invocation(0).multicast(ServiceType::kSymmetricTotalOrder, big);
+    d.sim().run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], big);
+}
+
+}  // namespace
+}  // namespace failsig::newtop

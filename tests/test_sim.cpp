@@ -1,0 +1,196 @@
+// Unit tests for the discrete-event simulator and the thread-pool CPU model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace failsig::sim {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule_at(30, [&] { order.push_back(3); });
+    sim.schedule_at(10, [&] { order.push_back(1); });
+    sim.schedule_at(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, EqualTimesFireInScheduleOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(5, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+    Simulation sim;
+    sim.schedule_at(100, [] {});
+    sim.run();
+    ASSERT_EQ(sim.now(), 100);
+    TimePoint fired_at = -1;
+    sim.schedule_at(50, [&] { fired_at = sim.now(); });  // in the past
+    sim.run();
+    EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+    Simulation sim;
+    bool fired = false;
+    const auto id = sim.schedule_at(10, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutOvershooting) {
+    Simulation sim;
+    std::vector<TimePoint> fired;
+    sim.schedule_at(10, [&] { fired.push_back(sim.now()); });
+    sim.schedule_at(20, [&] { fired.push_back(sim.now()); });
+    sim.schedule_at(30, [&] { fired.push_back(sim.now()); });
+    sim.run_until(20);
+    EXPECT_EQ(fired, (std::vector<TimePoint>{10, 20}));
+    EXPECT_EQ(sim.now(), 20);
+    sim.run();
+    EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+    Simulation sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 5) sim.schedule_after(10, tick);
+    };
+    sim.schedule_at(0, tick);
+    sim.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulation, RunWithEventLimit) {
+    Simulation sim;
+    int count = 0;
+    for (int i = 0; i < 10; ++i) sim.schedule_at(i, [&] { ++count; });
+    EXPECT_EQ(sim.run(3), 3u);
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(sim.pending(), 7u);
+}
+
+TEST(Simulation, EmptyAndPendingTrackCancellations) {
+    Simulation sim;
+    EXPECT_TRUE(sim.empty());
+    const auto id = sim.schedule_at(5, [] {});
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.cancel(id);
+    EXPECT_TRUE(sim.empty());
+}
+
+TEST(ThreadPool, SingleWorkerSerializesTasks) {
+    Simulation sim;
+    SimThreadPool pool(sim, 1);
+    std::vector<TimePoint> completions;
+    pool.submit(10, [&] { completions.push_back(sim.now()); });
+    pool.submit(10, [&] { completions.push_back(sim.now()); });
+    pool.submit(10, [&] { completions.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(completions, (std::vector<TimePoint>{10, 20, 30}));
+}
+
+TEST(ThreadPool, ParallelWorkersOverlap) {
+    Simulation sim;
+    SimThreadPool pool(sim, 3);
+    std::vector<TimePoint> completions;
+    for (int i = 0; i < 3; ++i) {
+        pool.submit(10, [&] { completions.push_back(sim.now()); });
+    }
+    sim.run();
+    EXPECT_EQ(completions, (std::vector<TimePoint>{10, 10, 10}));
+}
+
+TEST(ThreadPool, QueueDrainsFifo) {
+    Simulation sim;
+    SimThreadPool pool(sim, 2);
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i) {
+        pool.submit(10, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(pool.tasks_completed(), 6u);
+    EXPECT_EQ(pool.busy_time(), 60);
+}
+
+TEST(ThreadPool, ThroughputScalesWithWorkersUntilSaturation) {
+    // 20 tasks of cost 10 on k workers should finish at ceil(20/k)*10.
+    for (const int workers : {1, 2, 4, 10, 20, 40}) {
+        Simulation sim;
+        SimThreadPool pool(sim, workers);
+        for (int i = 0; i < 20; ++i) pool.submit(10, [] {});
+        sim.run();
+        const TimePoint expected = ((20 + workers - 1) / workers) * 10;
+        EXPECT_EQ(sim.now(), expected) << "workers=" << workers;
+    }
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+    Simulation sim;
+    EXPECT_THROW(SimThreadPool(sim, 0), std::invalid_argument);
+}
+
+TEST(ThreadPool, CompletionCanSubmitMoreWork) {
+    Simulation sim;
+    SimThreadPool pool(sim, 1);
+    int chained = 0;
+    pool.submit(5, [&] {
+        pool.submit(5, [&] { chained = 1; });
+    });
+    sim.run();
+    EXPECT_EQ(chained, 1);
+    EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(CostModel, MonotoneInPayloadSize) {
+    const CostModel cm;
+    EXPECT_LE(cm.marshal(0), cm.marshal(1000));
+    EXPECT_LE(cm.sign(0), cm.sign(10000));
+    EXPECT_LT(cm.verify(0), cm.sign(0));  // verify (e=65537) cheaper than sign
+}
+
+TEST(Stats, BasicMoments) {
+    Stats s;
+    for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, Percentiles) {
+    Stats s;
+    for (int i = 1; i <= 100; ++i) s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+    EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+}
+
+TEST(Stats, EmptyIsSafe) {
+    const Stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace failsig::sim
