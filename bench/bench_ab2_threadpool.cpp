@@ -8,31 +8,41 @@
 // testbed's dual CPUs).
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace failsig;
     using namespace failsig::bench;
+
+    const auto cli = scenario::parse_cli(argc, argv);
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    const std::vector<int> groups =
+        cli.group_sizes.empty() ? std::vector<int>{2, 6, 10, 14} : cli.group_sizes;
 
     print_header("AB2: NewTOP throughput vs ORB thread-pool size",
                  "small pools serialize dispatch and depress throughput; beyond ~10 threads "
                  "returns diminish because the single-threaded GC becomes the bottleneck");
 
+    std::vector<scenario::ScenarioReport> reports;
     const int pools[] = {1, 2, 4, 10, 20};
     std::printf("%-8s", "members");
     for (const int p : pools) std::printf(" pool=%-10d", p);
     std::printf("\n");
 
-    for (const int n : {2, 6, 10, 14}) {
+    for (const int n : groups) {
         std::printf("%-8d", n);
         for (const int p : pools) {
             ExperimentConfig cfg;
             cfg.group_size = n;
-            cfg.msgs_per_member = 30;
+            cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 30;
+            if (cli.payload_size > 0) cfg.payload_size = cli.payload_size;
+            if (cli.seed_set) cfg.seed = cli.seed;
             cfg.thread_pool = p;
             cfg.system = System::kNewTop;
-            const auto r = run_experiment(cfg);
+            reports.push_back(run_experiment_report(cfg));
+            const auto r = to_result(reports.back());
             std::printf(" %-15.1f", r.throughput_msg_s);
         }
         std::printf("\n");
     }
-    return 0;
+    return maybe_write_report(cli, reports) ? 0 : 1;
 }

@@ -7,33 +7,45 @@
 // message counts and latency for both protocols, in both systems.
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace failsig;
     using namespace failsig::bench;
+
+    const auto cli = scenario::parse_cli(argc, argv);
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    const std::vector<int> groups =
+        cli.group_sizes.empty() ? std::vector<int>{2, 4, 6, 8, 10} : cli.group_sizes;
+    const int msgs = cli.msgs_per_member > 0 ? cli.msgs_per_member : 30;
 
     print_header("AB3: symmetric vs asymmetric total order (both systems)",
                  "symmetric sends O(n^2) acknowledgements per multicast and pays more latency; "
                  "asymmetric funnels through the sequencer with O(n) messages");
 
+    std::vector<scenario::ScenarioReport> reports;
     std::printf("%-8s %-12s %-14s %-14s %-16s %-16s\n", "members", "protocol", "NewTOP(ms)",
                 "FS-NT(ms)", "NewTOP msgs", "FS-NT msgs");
-    for (const int n : {2, 4, 6, 8, 10}) {
+    for (const int n : groups) {
         for (const auto svc : {newtop::ServiceType::kSymmetricTotalOrder,
                                newtop::ServiceType::kAsymmetricTotalOrder}) {
             ExperimentConfig cfg;
             cfg.group_size = n;
-            cfg.msgs_per_member = 30;
+            cfg.msgs_per_member = msgs;
+            if (cli.payload_size > 0) cfg.payload_size = cli.payload_size;
+            if (cli.seed_set) cfg.seed = cli.seed;
             cfg.service = svc;
 
             cfg.system = System::kNewTop;
-            const auto newtop = run_experiment(cfg);
+            reports.push_back(run_experiment_report(cfg));
+            const auto newtop = to_result(reports.back());
             cfg.system = System::kFsNewTop;
-            const auto fsnewtop = run_experiment(cfg);
+            reports.push_back(run_experiment_report(cfg));
+            const auto fsnewtop = to_result(reports.back());
 
             const double per_multicast_newtop =
-                static_cast<double>(newtop.network_messages) / (30.0 * n);
+                static_cast<double>(newtop.network_messages) / (static_cast<double>(msgs) * n);
             const double per_multicast_fs =
-                static_cast<double>(fsnewtop.network_messages) / (30.0 * n);
+                static_cast<double>(fsnewtop.network_messages) / (static_cast<double>(msgs) * n);
             std::printf("%-8d %-12s %-14.1f %-14.1f %-16.1f %-16.1f\n", n,
                         svc == newtop::ServiceType::kSymmetricTotalOrder ? "symmetric"
                                                                          : "asymmetric",
@@ -42,5 +54,5 @@ int main() {
         }
     }
     std::printf("(msgs columns: network messages per application multicast)\n");
-    return 0;
+    return maybe_write_report(cli, reports) ? 0 : 1;
 }

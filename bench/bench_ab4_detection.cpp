@@ -11,6 +11,8 @@
 //      under a delay surge with NO failure (the cost of guessing).
 #include "fsnewtop/deployment.hpp"
 #include "newtop/deployment.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/report.hpp"
 
 #include <cstdio>
 
@@ -20,9 +22,10 @@ namespace {
 
 /// (a) FS-NewTOP: inject output corruption at member 2's follower node at
 /// t=inject; return time until members 0 and 1 both install {0,1}.
-Duration fs_detection_time(Duration delta, Duration slack) {
+Duration fs_detection_time(Duration delta, Duration slack, std::uint64_t seed) {
     fsnewtop::FsNewTopOptions opts;
     opts.group_size = 3;
+    opts.seed = seed;
     opts.fs_config.delta = delta;
     opts.fs_config.compare_slack = slack;
     fsnewtop::FsNewTopDeployment d(opts);
@@ -53,9 +56,10 @@ Duration fs_detection_time(Duration delta, Duration slack) {
 
 /// (b) NewTOP: crash member 2 at t=crash; return detection time, or measure
 /// false suspicions under a delay surge when nothing crashed.
-Duration newtop_detection_time(Duration suspect_timeout) {
+Duration newtop_detection_time(Duration suspect_timeout, std::uint64_t seed) {
     newtop::NewTopOptions opts;
     opts.group_size = 3;
+    opts.seed = seed;
     opts.start_suspectors = true;
     opts.suspector.ping_interval = 50 * kMillisecond;
     opts.suspector.suspect_timeout = suspect_timeout;
@@ -79,9 +83,10 @@ Duration newtop_detection_time(Duration suspect_timeout) {
     return detected < 0 ? -1 : detected - crash;
 }
 
-bool newtop_splits_under_surge(Duration suspect_timeout, Duration surge) {
+bool newtop_splits_under_surge(Duration suspect_timeout, Duration surge, std::uint64_t seed) {
     newtop::NewTopOptions opts;
     opts.group_size = 3;
+    opts.seed = seed;
     opts.start_suspectors = true;
     opts.suspector.ping_interval = 50 * kMillisecond;
     opts.suspector.suspect_timeout = suspect_timeout;
@@ -98,33 +103,64 @@ bool newtop_splits_under_surge(Duration suspect_timeout, Duration surge) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto cli = scenario::parse_cli(
+        argc, argv, "  (--groups/--messages/--payload are not used by this bench)\n");
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    const std::uint64_t seed = cli.seed_set ? cli.seed : 1;
+
     std::printf("================================================================\n");
     std::printf("AB4: failure detection — fail-signals vs timeout suspicion\n");
     std::printf("================================================================\n");
 
+    scenario::JsonWriter json;
+    json.begin_object();
+    json.field("format", "failsig-ab4-detection-v1");
+    json.field("seed", seed);
+
     std::printf("\n(a) FS-NewTOP: Byzantine fault -> survivors' view excludes the pair\n");
     std::printf("%-12s %-14s %-16s\n", "delta", "slack(ms)", "detect(ms)");
+    json.begin_array("fs_detection");
     for (const Duration delta : {200 * kMicrosecond, 500 * kMicrosecond, 2 * kMillisecond}) {
         for (const Duration slack : {20 * kMillisecond, 50 * kMillisecond, 100 * kMillisecond}) {
-            const Duration t = fs_detection_time(delta, slack);
+            const Duration t = fs_detection_time(delta, slack, seed);
             std::printf("%-12lld %-14lld %-16.1f\n", static_cast<long long>(delta),
                         static_cast<long long>(slack / kMillisecond),
                         static_cast<double>(t) / kMillisecond);
+            json.begin_object();
+            json.field("delta_us", static_cast<std::int64_t>(delta));
+            json.field("slack_ms", static_cast<std::int64_t>(slack / kMillisecond));
+            json.field("detect_ms", static_cast<double>(t) / kMillisecond);
+            json.end_object();
         }
     }
+    json.end_array();
 
     std::printf("\n(b) NewTOP ping suspector: crash detection vs timeout choice\n");
     std::printf("%-16s %-16s %-30s\n", "timeout(ms)", "detect(ms)", "splits w/ 1s surge, no crash?");
+    json.begin_array("newtop_detection");
     for (const Duration timeout :
          {200 * kMillisecond, 400 * kMillisecond, 800 * kMillisecond, 1600 * kMillisecond}) {
-        const Duration t = newtop_detection_time(timeout);
-        const bool split = newtop_splits_under_surge(timeout, 1 * kSecond);
+        const Duration t = newtop_detection_time(timeout, seed);
+        const bool split = newtop_splits_under_surge(timeout, 1 * kSecond, seed);
         std::printf("%-16lld %-16.1f %s\n", static_cast<long long>(timeout / kMillisecond),
                     static_cast<double>(t) / kMillisecond, split ? "YES (false suspicion)" : "no");
+        json.begin_object();
+        json.field("timeout_ms", static_cast<std::int64_t>(timeout / kMillisecond));
+        json.field("detect_ms", static_cast<double>(t) / kMillisecond);
+        json.field("splits_under_surge", split);
+        json.end_object();
     }
+    json.end_array();
+    json.end_object();
+
     std::printf("\nReading: the crash-tolerant suspector trades detection speed against\n"
                 "false suspicions (short timeouts split the group under delay surges);\n"
                 "fail-signal detection has no such dial — suspicions are never false.\n");
+    if (!cli.out_path.empty()) {
+        if (!scenario::write_file(cli.out_path, json.take() + "\n")) return 1;
+        std::printf("report written to %s\n", cli.out_path.c_str());
+    }
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "baseline/deployment.hpp"
 #include "harness.hpp"
+#include "sim/stats.hpp"
 
 using namespace failsig;
 
@@ -25,9 +26,10 @@ struct BaselineResult {
     double msgs_per_request;
 };
 
-BaselineResult run_pbft(std::uint32_t replicas) {
+BaselineResult run_pbft(std::uint32_t replicas, int requests, std::uint64_t seed) {
     baseline::PbftOptions opts;
     opts.replicas = replicas;
+    opts.seed = seed;
     baseline::PbftDeployment d(opts);
 
     // Warm-up request, then measure a batch.
@@ -35,30 +37,31 @@ BaselineResult run_pbft(std::uint32_t replicas) {
     d.sim().run();
     d.network().reset_stats();
 
-    const int kRequests = 20;
     sim::Stats latency;
-    for (int i = 0; i < kRequests; ++i) {
+    for (int i = 0; i < requests; ++i) {
         const TimePoint start = d.sim().now();
-        d.submit(static_cast<baseline::ReplicaId>(i % replicas), bytes_of("req"));
+        d.submit(static_cast<baseline::ReplicaId>(
+                     static_cast<std::uint32_t>(i) % replicas),
+                 bytes_of("req"));
         d.sim().run();
         latency.add(static_cast<double>(d.sim().now() - start) / kMillisecond);
     }
     return {latency.mean(),
-            static_cast<double>(d.network().messages_sent()) / kRequests};
+            static_cast<double>(d.network().messages_sent()) / requests};
 }
 
-BaselineResult run_fsnewtop(int group) {
+BaselineResult run_fsnewtop(int group, int requests, std::uint64_t seed) {
     fsnewtop::FsNewTopOptions opts;
     opts.group_size = group;
+    opts.seed = seed;
     fsnewtop::FsNewTopDeployment d(opts);
 
     d.invocation(0).multicast(newtop::ServiceType::kSymmetricTotalOrder, bytes_of("warm"));
     d.sim().run();
     d.network().reset_stats();
 
-    const int kRequests = 20;
     sim::Stats latency;
-    for (int i = 0; i < kRequests; ++i) {
+    for (int i = 0; i < requests; ++i) {
         const TimePoint start = d.sim().now();
         d.invocation(i % group).multicast(newtop::ServiceType::kSymmetricTotalOrder,
                                           bytes_of("req"));
@@ -66,36 +69,62 @@ BaselineResult run_fsnewtop(int group) {
         latency.add(static_cast<double>(d.sim().now() - start) / kMillisecond);
     }
     return {latency.mean(),
-            static_cast<double>(d.network().messages_sent()) / kRequests};
+            static_cast<double>(d.network().messages_sent()) / requests};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto cli = scenario::parse_cli(
+        argc, argv, "  (--messages sets requests per configuration; --groups/--payload unused)\n");
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    const int requests = cli.msgs_per_member > 0 ? cli.msgs_per_member : 20;
+    const std::uint64_t seed = cli.seed_set ? cli.seed : 1;
+
     std::printf("================================================================\n");
     std::printf("AB5: FS-NewTOP (4f+2 nodes) vs PBFT-style baseline (3f+1 nodes)\n");
     std::printf("================================================================\n");
     std::printf("%-4s %-22s %-22s %-14s %-14s %-12s %-12s\n", "f", "PBFT(n, nodes)",
                 "FS-NT(group, nodes)", "PBFT lat(ms)", "FS lat(ms)", "PBFT msgs", "FS msgs");
 
+    scenario::JsonWriter json;
+    json.begin_object();
+    json.field("format", "failsig-ab5-baseline-v1");
+    json.field("seed", seed);
+    json.field("requests", requests);
+    json.begin_array("rows");
     for (const std::uint32_t f : {1u, 2u, 3u}) {
         const std::uint32_t pbft_n = 3 * f + 1;
         const int fs_group = static_cast<int>(2 * f + 1);
         const int fs_nodes = 4 * static_cast<int>(f) + 2;
 
-        const auto pbft = run_pbft(pbft_n);
-        const auto fsnt = run_fsnewtop(fs_group);
+        const auto pbft = run_pbft(pbft_n, requests, seed);
+        const auto fsnt = run_fsnewtop(fs_group, requests, seed);
 
         std::printf("%-4u n=%-2u nodes=%-12u g=%-2d nodes=%-12d %-14.1f %-14.1f %-12.1f %-12.1f\n",
                     f, pbft_n, pbft_n, fs_group, fs_nodes, pbft.latency_ms, fsnt.latency_ms,
                     pbft.msgs_per_request, fsnt.msgs_per_request);
+        json.begin_object();
+        json.field("f", static_cast<std::uint64_t>(f));
+        json.field("pbft_replicas", static_cast<std::uint64_t>(pbft_n));
+        json.field("fs_group", fs_group);
+        json.field("fs_nodes", fs_nodes);
+        json.field("pbft_latency_ms", pbft.latency_ms);
+        json.field("fs_latency_ms", fsnt.latency_ms);
+        json.field("pbft_msgs_per_request", pbft.msgs_per_request);
+        json.field("fs_msgs_per_request", fsnt.msgs_per_request);
+        json.end_object();
     }
+    json.end_array();
+    json.end_object();
 
     // Liveness contrast.
     std::printf("\nLiveness when a key component goes silent:\n");
     {
         baseline::PbftOptions opts;
         opts.replicas = 4;
+        opts.seed = seed;
         baseline::PbftDeployment d(opts);
         for (baseline::ReplicaId r = 1; r < 4; ++r) {
             d.network().block(d.node_of(0), d.node_of(r));  // primary silent
@@ -113,6 +142,7 @@ int main() {
     {
         fsnewtop::FsNewTopOptions opts;
         opts.group_size = 3;
+        opts.seed = seed;
         opts.placement = fsnewtop::Placement::kFull;
         fsnewtop::FsNewTopDeployment d(opts);
         d.invocation(0).multicast(newtop::ServiceType::kSymmetricTotalOrder, bytes_of("warm"));
@@ -125,6 +155,10 @@ int main() {
         std::printf("  FS-NewTOP: pair broken -> fail-signal announced, survivors' view %s "
                     "(no asynchronous-network timeout involved)\n",
                     excluded ? "excludes the failed member" : "UNEXPECTED");
+    }
+    if (!cli.out_path.empty()) {
+        if (!scenario::write_file(cli.out_path, json.take() + "\n")) return 1;
+        std::printf("report written to %s\n", cli.out_path.c_str());
     }
     return 0;
 }

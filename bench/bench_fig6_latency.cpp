@@ -6,25 +6,37 @@
 // ~50% relative overhead at 9-10 members; both curves grow with n.
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace failsig;
     using namespace failsig::bench;
+
+    const auto cli = scenario::parse_cli(argc, argv);
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    std::vector<int> groups = cli.group_sizes;
+    if (groups.empty()) {
+        for (int n = 2; n <= 10; ++n) groups.push_back(n);
+    }
 
     print_header("FIG6: symmetric total order latency vs group size (3-byte messages)",
                  "constant FS gap for small n; ~50% overhead at n=9-10; both rise with n");
 
+    std::vector<scenario::ScenarioReport> reports;
     std::printf("%-8s %-16s %-16s %-12s %-12s\n", "members", "NewTOP(ms)", "FS-NewTOP(ms)",
                 "gap(ms)", "overhead");
-    for (int n = 2; n <= 10; ++n) {
+    for (const int n : groups) {
         ExperimentConfig cfg;
         cfg.group_size = n;
-        cfg.msgs_per_member = 40;
-        cfg.payload_size = 3;
+        cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 40;
+        cfg.payload_size = cli.payload_size > 0 ? cli.payload_size : 3;
+        if (cli.seed_set) cfg.seed = cli.seed;
 
         cfg.system = System::kNewTop;
-        const auto newtop = run_experiment(cfg);
+        reports.push_back(run_experiment_report(cfg));
+        const auto newtop = to_result(reports.back());
         cfg.system = System::kFsNewTop;
-        const auto fsnewtop = run_experiment(cfg);
+        reports.push_back(run_experiment_report(cfg));
+        const auto fsnewtop = to_result(reports.back());
 
         const double gap = fsnewtop.mean_latency_ms - newtop.mean_latency_ms;
         const double overhead = newtop.mean_latency_ms > 0
@@ -34,5 +46,5 @@ int main() {
                     fsnewtop.mean_latency_ms, gap, overhead,
                     fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
     }
-    return 0;
+    return maybe_write_report(cli, reports) ? 0 : 1;
 }

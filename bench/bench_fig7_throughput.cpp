@@ -7,26 +7,38 @@
 // to ~100% for groups with more than 10 members.
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace failsig;
     using namespace failsig::bench;
+
+    const auto cli = scenario::parse_cli(argc, argv);
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    std::vector<int> groups = cli.group_sizes;
+    if (groups.empty()) {
+        for (int n = 2; n <= 15; ++n) groups.push_back(n);
+    }
 
     print_header("FIG7: throughput vs group size (3-byte messages)",
                  "both rise from n=2, peak near 10, drop beyond; FS overhead 20-30% small n, "
                  "~100% for n>10");
 
+    std::vector<scenario::ScenarioReport> reports;
     std::printf("%-8s %-18s %-18s %-12s\n", "members", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
                 "overhead");
-    for (int n = 2; n <= 15; ++n) {
+    for (const int n : groups) {
         ExperimentConfig cfg;
         cfg.group_size = n;
-        cfg.msgs_per_member = 40;
-        cfg.payload_size = 3;
+        cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 40;
+        cfg.payload_size = cli.payload_size > 0 ? cli.payload_size : 3;
+        if (cli.seed_set) cfg.seed = cli.seed;
 
         cfg.system = System::kNewTop;
-        const auto newtop = run_experiment(cfg);
+        reports.push_back(run_experiment_report(cfg));
+        const auto newtop = to_result(reports.back());
         cfg.system = System::kFsNewTop;
-        const auto fsnewtop = run_experiment(cfg);
+        reports.push_back(run_experiment_report(cfg));
+        const auto fsnewtop = to_result(reports.back());
 
         const double overhead =
             fsnewtop.throughput_msg_s > 0
@@ -37,5 +49,5 @@ int main() {
                     fsnewtop.throughput_msg_s, overhead,
                     fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
     }
-    return 0;
+    return maybe_write_report(cli, reports) ? 0 : 1;
 }

@@ -6,19 +6,28 @@
 // constant in absolute terms (~30 msg/s in the paper) across sizes.
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace failsig;
     using namespace failsig::bench;
+
+    const auto cli = scenario::parse_cli(
+        argc, argv, "  (--groups selects the fixed group size; --payload is ignored:\n"
+                    "   this bench sweeps message size itself)\n");
+    if (cli.help) return 0;
+    if (cli.error) return 1;
+    const int group = cli.group_sizes.empty() ? 10 : cli.group_sizes.front();
 
     print_header("FIG8: throughput vs message size (10 members)",
                  "both fall with size; FS absolute gap roughly constant across sizes");
 
+    std::vector<scenario::ScenarioReport> reports;
     std::printf("%-10s %-18s %-18s %-14s\n", "size", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
                 "gap(msg/s)");
     for (int kb = 0; kb <= 10; ++kb) {
         ExperimentConfig cfg;
-        cfg.group_size = 10;
-        cfg.msgs_per_member = 30;
+        cfg.group_size = group;
+        cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 30;
+        if (cli.seed_set) cfg.seed = cli.seed;
         // Run at saturation so throughput measures capacity (as the paper's
         // fixed-group, size-swept runs do), not the injection rate.
         cfg.send_interval = 40 * kMillisecond;
@@ -26,14 +35,16 @@ int main() {
         if (cfg.payload_size < 8) cfg.payload_size = 8;  // room for the latency tag
 
         cfg.system = System::kNewTop;
-        const auto newtop = run_experiment(cfg);
+        reports.push_back(run_experiment_report(cfg));
+        const auto newtop = to_result(reports.back());
         cfg.system = System::kFsNewTop;
-        const auto fsnewtop = run_experiment(cfg);
+        reports.push_back(run_experiment_report(cfg));
+        const auto fsnewtop = to_result(reports.back());
 
         std::printf("%2dk        %-18.1f %-18.1f %-14.1f%s\n", kb, newtop.throughput_msg_s,
                     fsnewtop.throughput_msg_s,
                     newtop.throughput_msg_s - fsnewtop.throughput_msg_s,
                     fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
     }
-    return 0;
+    return maybe_write_report(cli, reports) ? 0 : 1;
 }

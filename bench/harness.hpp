@@ -9,14 +9,20 @@
 //     sent by each A_i".
 // Absolute values are simulator-calibrated, not testbed-measured; the shapes
 // are the reproduction target (see EXPERIMENTS.md).
+//
+// The measurement loop itself lives in the scenario engine
+// (src/scenario/runner.hpp): an ExperimentConfig is just a fault-free
+// Scenario, so benches, tests and declarative fault campaigns all run
+// through one code path. `run_experiment_report` exposes the full
+// ScenarioReport (invariant verdicts included) for benches that write JSON
+// reports via --out.
 #pragma once
 
 #include <cstdio>
-#include <map>
 
-#include "fsnewtop/deployment.hpp"
-#include "newtop/deployment.hpp"
-#include "sim/stats.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
 
 namespace failsig::bench {
 
@@ -46,114 +52,42 @@ struct ExperimentResult {
     std::uint64_t observed_deliveries{0};
 };
 
-namespace detail {
+/// The declarative form of a §4 measurement run.
+inline scenario::Scenario make_scenario(const ExperimentConfig& cfg) {
+    scenario::Scenario s;
+    s.name = std::string(name_of(cfg.system)) + "/n" + std::to_string(cfg.group_size);
+    s.system = cfg.system == System::kNewTop ? scenario::SystemKind::kNewTop
+                                             : scenario::SystemKind::kFsNewTop;
+    s.group_size = cfg.group_size;
+    s.seed = cfg.seed;
+    s.threads_per_node = cfg.thread_pool;
+    s.workload.msgs_per_member = cfg.msgs_per_member;
+    s.workload.payload_size = cfg.payload_size;
+    s.workload.send_interval = cfg.send_interval;
+    s.workload.service = cfg.service;
+    return s;
+}
 
-/// Payload: 8-byte (sender,seq) tag padded to the requested size.
-inline Bytes make_payload(std::uint32_t sender, std::uint32_t seq, std::size_t size) {
-    ByteWriter w;
-    w.u32(sender);
-    w.u32(seq);
-    Bytes out = w.take();
-    if (out.size() < size) out.resize(size, 0x5a);
+inline ExperimentResult to_result(const scenario::ScenarioReport& report) {
+    const auto& m = report.metrics;
+    ExperimentResult out;
+    out.mean_latency_ms = m.mean_latency_ms;
+    out.p95_latency_ms = m.p95_latency_ms;
+    out.throughput_msg_s = m.throughput_msg_s;
+    out.network_messages = m.network_messages;
+    out.network_bytes = m.network_bytes;
+    out.fail_signals = m.fail_signals;
+    out.expected_deliveries = m.expected_deliveries;
+    out.observed_deliveries = m.observed_deliveries;
     return out;
 }
 
-struct LatencyTracker {
-    std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> sent_at;
-    sim::Stats latencies_ms;
-    TimePoint first_send{0};
-    TimePoint last_delivery{0};
-    std::uint64_t deliveries{0};
-
-    void on_sent(std::uint32_t sender, std::uint32_t seq, TimePoint now) {
-        if (sent_at.empty()) first_send = now;
-        sent_at[{sender, seq}] = now;
-    }
-    void on_delivered(const Bytes& payload, TimePoint now) {
-        if (payload.size() < 8) return;
-        ByteReader r(payload);
-        const auto sender = r.u32();
-        const auto seq = r.u32();
-        const auto it = sent_at.find({sender, seq});
-        if (it == sent_at.end()) return;
-        latencies_ms.add(static_cast<double>(now - it->second) / kMillisecond);
-        last_delivery = std::max(last_delivery, now);
-        ++deliveries;
-    }
-};
-
-template <typename Deployment, typename GetInvocation>
-ExperimentResult drive(Deployment& d, sim::Simulation& sim, net::SimNetwork& net,
-                       const ExperimentConfig& cfg, GetInvocation get_invocation) {
-    const int n = cfg.group_size;
-    LatencyTracker tracker;
-
-    for (int i = 0; i < n; ++i) {
-        get_invocation(i).on_delivery([&tracker, &sim](const newtop::Delivery& dl) {
-            tracker.on_delivered(dl.payload, sim.now());
-        });
-    }
-
-    net.reset_stats();
-    for (int k = 0; k < cfg.msgs_per_member; ++k) {
-        for (int i = 0; i < n; ++i) {
-            // Members are staggered across the interval, as independent
-            // applications would be (synchronized bursts are unrealistic and
-            // only measure queue spikes).
-            const TimePoint at = static_cast<TimePoint>(k) * cfg.send_interval +
-                                 (static_cast<TimePoint>(i) * cfg.send_interval) / n;
-            sim.schedule_at(at, [&, i, k] {
-                const auto payload =
-                    make_payload(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(k),
-                                 cfg.payload_size);
-                tracker.on_sent(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(k),
-                                sim.now());
-                get_invocation(i).multicast(cfg.service, payload);
-            });
-        }
-    }
-    sim.run();
-
-    ExperimentResult result;
-    result.mean_latency_ms = tracker.latencies_ms.mean();
-    result.p95_latency_ms = tracker.latencies_ms.percentile(0.95);
-    const double makespan_s =
-        static_cast<double>(tracker.last_delivery - tracker.first_send) / kSecond;
-    const double total_msgs = static_cast<double>(n) * cfg.msgs_per_member;
-    result.throughput_msg_s = makespan_s > 0 ? total_msgs / makespan_s : 0;
-    result.network_messages = net.messages_sent();
-    result.network_bytes = net.bytes_sent();
-    result.expected_deliveries = static_cast<std::uint64_t>(total_msgs) * static_cast<std::uint64_t>(n);
-    result.observed_deliveries = tracker.deliveries;
-    return result;
+inline scenario::ScenarioReport run_experiment_report(const ExperimentConfig& cfg) {
+    return scenario::run_scenario(make_scenario(cfg));
 }
 
-}  // namespace detail
-
 inline ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-    if (cfg.system == System::kNewTop) {
-        newtop::NewTopOptions opts;
-        opts.group_size = cfg.group_size;
-        opts.threads_per_node = cfg.thread_pool;
-        opts.seed = cfg.seed;
-        newtop::NewTopDeployment d(opts);
-        return detail::drive(d, d.sim(), d.network(), cfg,
-                             [&d](int i) -> newtop::InvocationService& { return d.invocation(i); });
-    }
-    fsnewtop::FsNewTopOptions opts;
-    opts.group_size = cfg.group_size;
-    opts.threads_per_node = cfg.thread_pool;
-    opts.seed = cfg.seed;
-    fsnewtop::FsNewTopDeployment d(opts);
-    auto result = detail::drive(
-        d, d.sim(), d.network(), cfg,
-        [&d](int i) -> newtop::InvocationService& { return d.invocation(i); });
-    for (int i = 0; i < cfg.group_size; ++i) {
-        if (d.leader_fso(i).signalling() || d.follower_fso(i).signalling()) {
-            result.fail_signals = true;
-        }
-    }
-    return result;
+    return to_result(run_experiment_report(cfg));
 }
 
 /// Prints the standard header used by the figure benches.
@@ -162,6 +96,16 @@ inline void print_header(const char* title, const char* expectation) {
     std::printf("%s\n", title);
     std::printf("Paper-expected shape: %s\n", expectation);
     std::printf("================================================================\n");
+}
+
+/// Writes accumulated scenario reports when --out was given; returns true
+/// on success (or when no path was requested).
+inline bool maybe_write_report(const scenario::CliOptions& cli,
+                               const std::vector<scenario::ScenarioReport>& reports) {
+    if (cli.out_path.empty()) return true;
+    const bool ok = scenario::write_file(cli.out_path, scenario::to_json(reports));
+    if (ok) std::printf("report written to %s\n", cli.out_path.c_str());
+    return ok;
 }
 
 }  // namespace failsig::bench

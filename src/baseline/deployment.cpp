@@ -39,8 +39,8 @@ void PbftServant::maybe_run() {
 /// Collects "deliver" upcalls for one replica.
 class PbftDeployment::DeliverySink final : public orb::Servant {
 public:
-    DeliverySink(orb::Orb& orb, const std::string& key, std::vector<std::string>& log)
-        : log_(log) {
+    DeliverySink(orb::Orb& orb, const std::string& key, PbftDeployment& owner, ReplicaId replica)
+        : owner_(owner), replica_(replica) {
         ref_ = orb.activate(key, this);
     }
 
@@ -48,14 +48,16 @@ public:
         if (request.operation != "deliver" || !request.args.is<Bytes>()) return;
         auto d = PbftDelivery::decode(request.args.as<Bytes>());
         if (!d.has_value()) return;
-        log_.push_back(std::to_string(d.value().request.origin) + ":" +
-                       string_of(d.value().request.payload));
+        owner_.delivered_[replica_].push_back(std::to_string(d.value().request.origin) + ":" +
+                                              string_of(d.value().request.payload));
+        if (owner_.delivery_observer_) owner_.delivery_observer_(replica_, d.value());
     }
 
     [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
 
 private:
-    std::vector<std::string>& log_;
+    PbftDeployment& owner_;
+    ReplicaId replica_;
     orb::ObjectRef ref_;
 };
 
@@ -76,7 +78,7 @@ PbftDeployment::PbftDeployment(const PbftOptions& options)
     }
 
     for (std::uint32_t i = 0; i < n; ++i) {
-        sinks_.push_back(std::make_unique<DeliverySink>(*orbs[i], "app", delivered_[i]));
+        sinks_.push_back(std::make_unique<DeliverySink>(*orbs[i], "app", *this, i));
 
         PbftConfig cfg;
         cfg.self = i;

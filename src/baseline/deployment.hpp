@@ -66,6 +66,11 @@ public:
     [[nodiscard]] PbftReplica& replica(ReplicaId r);
     /// Delivered (seq -> "origin:payload") log observed at replica r.
     [[nodiscard]] const std::vector<std::string>& delivered(ReplicaId r) const;
+
+    /// Observes every commit upcall with its structured payload (the
+    /// scenario tracer taps this; the string log above stays for tests).
+    using DeliveryObserver = std::function<void(ReplicaId replica, const PbftDelivery&)>;
+    void on_delivery(DeliveryObserver observer) { delivery_observer_ = std::move(observer); }
     [[nodiscard]] NodeId node_of(ReplicaId r) const {
         return NodeId{static_cast<std::uint32_t>(r + 1)};
     }
@@ -80,6 +85,7 @@ private:
     std::vector<std::unique_ptr<DeliverySink>> sinks_;
     std::vector<std::vector<std::string>> delivered_;
     std::vector<std::uint64_t> next_origin_seq_;
+    DeliveryObserver delivery_observer_;
 };
 
 }  // namespace failsig::baseline

@@ -434,6 +434,7 @@ void Fso::start_signalling(const std::string& reason) {
     if (signalling_) return;
     signalling_ = true;
     LogStream(LogLevel::kInfo, "fso") << principal_ << " starts fail-signalling: " << reason;
+    if (fail_signal_observer_) fail_signal_observer_(name_, reason);
 
     // Every entity expecting a response gets the fail-signal.
     for (auto& [id, entry] : icmp_) {
@@ -489,6 +490,9 @@ void Fso::schedule_spontaneous_fail_signal() {
         if (fault_configured_ && fault_.spontaneous_fail_signals && fault_active()) {
             // fs2: emit this process's fail-signal at an arbitrary instant to
             // arbitrary destinations, while the process may keep working.
+            if (fail_signal_observer_) {
+                fail_signal_observer_(name_, "spontaneous fail-signal emission (fs2)");
+            }
             for (const auto& other : rt_.directory.names()) {
                 if (other != name_) send_fail_signal_to_fs(other);
             }

@@ -91,6 +91,14 @@ public:
     /// Injects an authenticated-Byzantine fault plan into this node.
     void set_fault_plan(const FaultPlan& plan);
 
+    /// Invoked once when this wrapper object starts fail-signalling (the
+    /// scenario tracer taps this; reasons are human-readable).
+    using FailSignalObserver = std::function<void(const std::string& name,
+                                                  const std::string& reason)>;
+    void set_fail_signal_observer(FailSignalObserver observer) {
+        fail_signal_observer_ = std::move(observer);
+    }
+
     // orb::Servant — handles "receiveNew" requests from the environment.
     void dispatch(const orb::Request& request) override;
 
@@ -194,6 +202,7 @@ private:
     FaultPlan fault_;
     bool fault_configured_{false};
     Rng fault_rng_;
+    FailSignalObserver fail_signal_observer_;
 
     std::uint64_t next_raw_request_id_{1};
     std::uint64_t inputs_ordered_{0};

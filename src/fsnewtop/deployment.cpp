@@ -6,7 +6,8 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
     : net_(sim_, Rng(options.seed), options.net_params),
       domain_(sim_, net_, options.costs, options.threads_per_node),
       keys_(options.crypto_backend, 512, options.seed ^ 0x6b657973u),
-      host_(fs::FsRuntime{sim_, net_, domain_, keys_, directory_}) {
+      host_(fs::FsRuntime{sim_, net_, domain_, keys_, directory_}),
+      placement_(options.placement) {
     const int n = options.group_size;
     ensure(n >= 1, "FsNewTopDeployment: group_size must be >= 1");
 
@@ -32,8 +33,12 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
     // Pass 1: each member's Invocation layer (an FsClient) on its app node.
     members_.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
+        auto& member = members_[static_cast<std::size_t>(i)];
+        member.app_node = app_node(i);
+        member.leader_node = leader_node(i);
+        member.follower_node = follower_node(i);
         orb::Orb& app_orb = domain_.create_orb(app_node(i));
-        members_[static_cast<std::size_t>(i)].invocation = std::make_unique<FsInvocation>(
+        member.invocation = std::make_unique<FsInvocation>(
             host_.runtime(), app_orb, "inv:" + std::to_string(i), gc_name(i));
     }
 
@@ -75,6 +80,18 @@ newtop::GcService& FsNewTopDeployment::gc_leader(int member) {
 
 newtop::GcService& FsNewTopDeployment::gc_follower(int member) {
     return dynamic_cast<newtop::GcService&>(follower_fso(member).service());
+}
+
+NodeId FsNewTopDeployment::app_node_of(int member) const {
+    return members_.at(static_cast<std::size_t>(member)).app_node;
+}
+
+NodeId FsNewTopDeployment::leader_node_of(int member) const {
+    return members_.at(static_cast<std::size_t>(member)).leader_node;
+}
+
+NodeId FsNewTopDeployment::follower_node_of(int member) const {
+    return members_.at(static_cast<std::size_t>(member)).follower_node;
 }
 
 }  // namespace failsig::fsnewtop

@@ -60,10 +60,20 @@ public:
         return "GC:" + std::to_string(member);
     }
 
+    // Physical layout (scenario fault injection needs real node ids: crashes
+    // and partitions operate on hosts, not on protocol-level members).
+    [[nodiscard]] NodeId app_node_of(int member) const;
+    [[nodiscard]] NodeId leader_node_of(int member) const;
+    [[nodiscard]] NodeId follower_node_of(int member) const;
+    [[nodiscard]] Placement placement() const { return placement_; }
+
 private:
     struct Member {
         std::unique_ptr<FsInvocation> invocation;
         fs::FsProcessHandles handles;
+        NodeId app_node;
+        NodeId leader_node;
+        NodeId follower_node;
     };
 
     sim::Simulation sim_;
@@ -72,6 +82,7 @@ private:
     crypto::KeyService keys_;
     fs::FsDirectory directory_;
     fs::FsHost host_;
+    Placement placement_{Placement::kCollocated};
     std::vector<Member> members_;
 };
 

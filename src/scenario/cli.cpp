@@ -1,0 +1,107 @@
+#include "scenario/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace failsig::scenario {
+
+namespace {
+
+void print_usage(const char* program, const std::string& extra) {
+    std::printf(
+        "usage: %s [options]\n"
+        "  --groups a,b,c   group sizes to sweep (comma separated)\n"
+        "  --messages N     messages multicast per member\n"
+        "  --payload N      payload bytes per message (min 8)\n"
+        "  --seed N         RNG seed\n"
+        "  --out PATH       write a JSON report to PATH\n"
+        "  --help           this text\n%s",
+        program, extra.c_str());
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+/// Strict positive-int parse: the whole token must be digits, so typos like
+/// "4x8" are rejected instead of silently truncating to 4.
+bool parse_positive_int(const std::string& token, int& out) {
+    char* end = nullptr;
+    const long v = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || v <= 0 || v > 1'000'000) return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool parse_int_list(const char* text, std::vector<int>& out) {
+    std::string token;
+    const std::string input = text;
+    for (std::size_t i = 0; i <= input.size(); ++i) {
+        if (i == input.size() || input[i] == ',') {
+            int value = 0;
+            if (!parse_positive_int(token, value)) return false;
+            out.push_back(value);
+            token.clear();
+        } else {
+            token += input[i];
+        }
+    }
+    return !out.empty();
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage) {
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--help" || arg == "-h") {
+            print_usage(argv[0], extra_usage);
+            opts.help = true;
+            return opts;
+        }
+        if (arg == "--groups" && has_value) {
+            if (!parse_int_list(argv[++i], opts.group_sizes)) {
+                std::fprintf(stderr, "%s: bad --groups value '%s'\n", argv[0], argv[i]);
+                opts.error = true;
+                return opts;
+            }
+        } else if (arg == "--messages" && has_value) {
+            if (!parse_positive_int(argv[++i], opts.msgs_per_member)) {
+                std::fprintf(stderr, "%s: bad --messages value '%s'\n", argv[0], argv[i]);
+                opts.error = true;
+                return opts;
+            }
+        } else if (arg == "--payload" && has_value) {
+            std::uint64_t v = 0;
+            if (!parse_u64(argv[++i], v) || v == 0) {
+                std::fprintf(stderr, "%s: bad --payload value '%s'\n", argv[0], argv[i]);
+                opts.error = true;
+                return opts;
+            }
+            opts.payload_size = static_cast<std::size_t>(v);
+        } else if (arg == "--seed" && has_value) {
+            if (!parse_u64(argv[++i], opts.seed)) {
+                std::fprintf(stderr, "%s: bad --seed value '%s'\n", argv[0], argv[i]);
+                opts.error = true;
+                return opts;
+            }
+            opts.seed_set = true;
+        } else if (arg == "--out" && has_value) {
+            opts.out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "%s: unknown or incomplete option '%s' (try --help)\n",
+                         argv[0], arg.c_str());
+            opts.error = true;
+            return opts;
+        }
+    }
+    return opts;
+}
+
+}  // namespace failsig::scenario

@@ -1,0 +1,31 @@
+// Shared command-line parsing for the bench and example binaries.
+//
+// Every experiment binary accepts the same knobs (group sizes, message
+// count, payload size, seed, report path) so sweeps are scriptable without
+// editing hard-coded constants:
+//     bench_fig7_throughput --groups 2,6,10 --messages 80 --seed 7 --out fig7.json
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace failsig::scenario {
+
+struct CliOptions {
+    std::vector<int> group_sizes;  ///< empty = binary default
+    int msgs_per_member{0};        ///< 0 = binary default
+    std::size_t payload_size{0};   ///< 0 = binary default
+    std::uint64_t seed{0};
+    bool seed_set{false};
+    std::string out_path;  ///< empty = no report file
+    bool help{false};      ///< --help given: usage already printed
+    bool error{false};     ///< bad flag/value: message already printed
+};
+
+/// Parses --groups a,b,c / --messages N / --payload N / --seed N / --out
+/// PATH / --help. `extra_usage` is appended to the usage text. Callers
+/// should exit 0 on `.help` and exit 1 on `.error`.
+CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage = "");
+
+}  // namespace failsig::scenario

@@ -1,0 +1,65 @@
+// Pluggable correctness invariants evaluated over a scenario trace.
+//
+// Each checker encodes one property the paper argues for (or a pathology it
+// argues against):
+//   * agreement            — all correct members deliver consistent
+//                            sequences (prefix-identical under total order;
+//                            per-sender FIFO otherwise);
+//   * validity             — on fault-free runs, everything sent is
+//                            delivered by every member;
+//   * view-convergence     — correct members end in the same view;
+//   * no-delivery-from-excluded — nothing multicast by an excluded member
+//                            after its exclusion is delivered;
+//   * no-false-exclusion   — excluded members were genuinely faulted; this
+//                            is the membership-level form of "fail-signal
+//                            implies actual fault" and is exactly what a
+//                            delay surge violates on crash-tolerant NewTOP
+//                            (false suspicions) but never on FS-NewTOP;
+//   * fail-signal-implies-fault — FS-NewTOP: only faulted pairs signal.
+//
+// Checkers are pure functions of (Scenario, Trace), so they run identically
+// on live runs, recorded traces, and sweep reports.
+#pragma once
+
+#include <memory>
+
+#include "scenario/scenario.hpp"
+#include "scenario/trace.hpp"
+
+namespace failsig::scenario {
+
+struct InvariantResult {
+    std::string name;
+    bool passed{false};
+    std::string detail;  ///< empty on pass; what went wrong on failure
+};
+
+class Invariant {
+public:
+    virtual ~Invariant() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// Whether the property is meaningful for this scenario (e.g. validity
+    /// only holds on fault-free runs; view checks need a membership layer).
+    [[nodiscard]] virtual bool applicable(const Scenario& scenario) const = 0;
+    [[nodiscard]] virtual InvariantResult check(const Scenario& scenario,
+                                                const Trace& trace) const = 0;
+};
+
+/// The built-in checker set described above.
+const std::vector<std::unique_ptr<Invariant>>& builtin_invariants();
+
+/// Runs every applicable checker from `checkers` (or the built-ins when the
+/// overload without a list is used) and returns one result per checker.
+std::vector<InvariantResult> evaluate(const Scenario& scenario, const Trace& trace);
+std::vector<InvariantResult> evaluate(const Scenario& scenario, const Trace& trace,
+                                      const std::vector<const Invariant*>& checkers);
+
+/// True when every result passed.
+bool all_passed(const std::vector<InvariantResult>& results);
+
+/// The result for a named checker, or nullptr when it did not run.
+const InvariantResult* find_result(const std::vector<InvariantResult>& results,
+                                   const std::string& name);
+
+}  // namespace failsig::scenario

@@ -1,0 +1,464 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "baseline/deployment.hpp"
+#include "common/result.hpp"
+#include "fsnewtop/deployment.hpp"
+#include "newtop/deployment.hpp"
+#include "sim/stats.hpp"
+
+namespace failsig::scenario {
+
+namespace {
+
+/// Payload: 8-byte (sender, seq) tag padded to the requested size — the
+/// same wire shape the paper benches use, so latency can be attributed to
+/// individual multicasts at every member.
+Bytes make_payload(std::uint32_t sender, std::uint32_t seq, std::size_t size) {
+    ByteWriter w;
+    w.u32(sender);
+    w.u32(seq);
+    Bytes out = w.take();
+    if (out.size() < size) out.resize(size, 0x5a);
+    return out;
+}
+
+/// Mutable state shared by the workload scheduler, the observer hooks and
+/// the metric computation of one run.
+struct RunState {
+    const Scenario& s;
+    Trace trace;
+    sim::Stats latencies_ms;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> sent_at;
+    TimePoint first_send{0};
+    TimePoint last_delivery{0};
+    std::uint64_t sent_count{0};
+    std::uint64_t delivery_count{0};
+    std::vector<std::uint32_t> next_seq;
+
+    explicit RunState(const Scenario& scenario)
+        : s(scenario), next_seq(static_cast<std::size_t>(scenario.group_size), 0) {}
+
+    void on_sent(int member, std::uint32_t seq, TimePoint now) {
+        if (sent_count == 0) first_send = now;
+        ++sent_count;
+        sent_at[{static_cast<std::uint32_t>(member), seq}] = now;
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kSent;
+        e.at = now;
+        e.member = member;
+        e.sender = static_cast<std::uint32_t>(member);
+        e.seq = seq;
+        trace.record(std::move(e));
+    }
+
+    void on_delivered(int member, const Bytes& payload, TimePoint now) {
+        if (payload.size() < 8) return;
+        ByteReader r(payload);
+        const auto sender = r.u32();
+        const auto seq = r.u32();
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kDelivered;
+        e.at = now;
+        e.member = member;
+        e.sender = sender;
+        e.seq = seq;
+        trace.record(std::move(e));
+        ++delivery_count;
+        last_delivery = std::max(last_delivery, now);
+        const auto it = sent_at.find({sender, seq});
+        if (it != sent_at.end()) {
+            latencies_ms.add(static_cast<double>(now - it->second) / kMillisecond);
+        }
+    }
+
+    void on_view(int member, const newtop::GroupView& view, TimePoint now) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kViewInstalled;
+        e.at = now;
+        e.member = member;
+        e.seq = view.view_id;
+        e.view_members = view.members;
+        e.detail = "view_id=" + std::to_string(view.view_id);
+        trace.record(std::move(e));
+    }
+
+    void on_fail_signal(int member, const std::string& name, const std::string& reason,
+                        TimePoint now) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kFailSignal;
+        e.at = now;
+        e.member = member;
+        e.detail = name + ": " + reason;
+        trace.record(std::move(e));
+    }
+
+    void on_middleware_failure(int member, const std::string& fs_name, TimePoint now) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kMiddlewareFailure;
+        e.at = now;
+        e.member = member;
+        e.detail = fs_name;
+        trace.record(std::move(e));
+    }
+};
+
+using SendFn = std::function<void(int member, Bytes payload)>;
+
+void fire_send(RunState& st, sim::Simulation& sim, int member, const SendFn& send) {
+    const std::uint32_t seq = st.next_seq[static_cast<std::size_t>(member)]++;
+    Bytes payload = make_payload(static_cast<std::uint32_t>(member), seq,
+                                 std::max<std::size_t>(st.s.workload.payload_size, 8));
+    st.on_sent(member, seq, sim.now());
+    send(member, std::move(payload));
+}
+
+/// Members are staggered across the send interval, as independent
+/// applications would be (identical to the figure benches' injection).
+void schedule_workload(sim::Simulation& sim, RunState& st, const SendFn& send) {
+    const auto& w = st.s.workload;
+    const int n = st.s.group_size;
+    for (int k = 0; k < w.msgs_per_member; ++k) {
+        for (int i = 0; i < n; ++i) {
+            const TimePoint at = static_cast<TimePoint>(k) * w.send_interval +
+                                 (static_cast<TimePoint>(i) * w.send_interval) / n;
+            sim.schedule_at(at, [&st, &sim, &send, i] { fire_send(st, sim, i, send); });
+        }
+    }
+}
+
+/// System-specific handlers for the timeline events; null entries record a
+/// not-applicable note instead of acting (e.g. FaultPlans on systems with
+/// no fail-signal layer).
+struct SystemHooks {
+    net::SimNetwork* net{nullptr};
+    std::function<void(int member)> crash;
+    std::function<void(const ScenarioEvent&)> fault;
+    std::function<void(const std::vector<std::vector<int>>&)> partition;
+    std::function<void()> fire_timeouts;
+};
+
+void schedule_timeline(sim::Simulation& sim, RunState& st, const SystemHooks& hooks,
+                       const SendFn& send) {
+    for (const auto& event : st.s.timeline) {
+        sim.schedule_at(event.at, [&st, &sim, &hooks, &send, event] {
+            TraceEvent te;
+            te.kind = TraceEvent::Kind::kScenarioEvent;
+            te.at = sim.now();
+            te.member = event.member;
+            te.detail = event.describe();
+            using Kind = ScenarioEvent::Kind;
+            switch (event.kind) {
+                case Kind::kCrashMember:
+                    hooks.crash(event.member);
+                    break;
+                case Kind::kFaultPlan:
+                    if (hooks.fault) {
+                        hooks.fault(event);
+                    } else {
+                        te.detail += " [ignored: no fail-signal layer]";
+                    }
+                    break;
+                case Kind::kDelaySurge:
+                    hooks.net->delay_surge(event.surge_extra, event.surge_until);
+                    break;
+                case Kind::kPartition:
+                    hooks.partition(event.groups);
+                    break;
+                case Kind::kHealPartition:
+                    hooks.net->heal_partition();
+                    break;
+                case Kind::kDropProbability:
+                    hooks.net->set_drop_probability(event.drop_probability);
+                    break;
+                case Kind::kBurst:
+                    for (int b = 0; b < event.burst_messages; ++b) {
+                        fire_send(st, sim, event.member, send);
+                    }
+                    break;
+                case Kind::kFireTimeouts:
+                    if (hooks.fire_timeouts) {
+                        hooks.fire_timeouts();
+                    } else {
+                        te.detail += " [ignored: no liveness timers]";
+                    }
+                    break;
+            }
+            st.trace.record(std::move(te));
+        });
+    }
+}
+
+/// Runs the simulation: to quiescence when possible, otherwise to the
+/// (possibly derived) deadline plus a bounded settle window — perpetual
+/// event loops (suspector pings, spontaneous fail-signals) can therefore
+/// never wedge a run.
+template <typename StopPerpetualFn>
+void drive(sim::Simulation& sim, const Scenario& s, StopPerpetualFn&& stop_perpetual) {
+    TimePoint deadline = s.deadline;
+    if (deadline == 0 && s.has_perpetual_activity()) {
+        deadline = s.workload_end() + 10 * kSecond;
+    }
+    if (deadline == 0) {
+        sim.run();
+        return;
+    }
+    sim.run_until(deadline);
+    stop_perpetual();
+    sim.run_until(deadline + s.settle);
+}
+
+ScenarioReport finish(RunState& st, net::SimNetwork& net, TimePoint now) {
+    ScenarioReport report;
+    report.scenario = st.s;
+    report.trace = std::move(st.trace);
+
+    auto& m = report.metrics;
+    m.mean_latency_ms = st.latencies_ms.mean();
+    m.p95_latency_ms = st.latencies_ms.percentile(0.95);
+    const double makespan_s = static_cast<double>(st.last_delivery - st.first_send) / kSecond;
+    m.throughput_msg_s =
+        makespan_s > 0 ? static_cast<double>(st.sent_count) / makespan_s : 0.0;
+    m.network_messages = net.messages_sent();
+    m.network_bytes = net.bytes_sent();
+    m.messages_sent = st.sent_count;
+    m.observed_deliveries = st.delivery_count;
+    m.expected_deliveries = st.sent_count * static_cast<std::uint64_t>(st.s.group_size);
+    m.views_installed = report.trace.count(TraceEvent::Kind::kViewInstalled);
+    m.fail_signal_events = report.trace.count(TraceEvent::Kind::kFailSignal) +
+                           report.trace.count(TraceEvent::Kind::kMiddlewareFailure);
+    m.fail_signals = m.fail_signal_events > 0;
+    m.finished_at = now;
+
+    report.invariants = evaluate(report.scenario, report.trace);
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-tolerant NewTOP
+// ---------------------------------------------------------------------------
+
+ScenarioReport run_newtop(const Scenario& s) {
+    newtop::NewTopOptions opts;
+    opts.group_size = s.group_size;
+    opts.threads_per_node = s.threads_per_node;
+    opts.seed = s.seed;
+    opts.start_suspectors = s.start_suspectors;
+    opts.suspector = s.suspector;
+    newtop::NewTopDeployment d(opts);
+    RunState st(s);
+
+    for (int i = 0; i < s.group_size; ++i) {
+        d.invocation(i).on_delivery([&st, &d, i](const newtop::Delivery& dl) {
+            st.on_delivered(i, dl.payload, d.sim().now());
+        });
+        d.invocation(i).on_view([&st, &d, i](const newtop::GroupView& v) {
+            st.on_view(i, v, d.sim().now());
+        });
+    }
+
+    const SendFn send = [&d, &s](int member, Bytes payload) {
+        d.invocation(member).multicast(s.workload.service, std::move(payload));
+    };
+
+    SystemHooks hooks;
+    hooks.net = &d.network();
+    hooks.crash = [&d, &s](int member) {
+        // A crashed host stops talking to everyone; its suspector peers see
+        // silence and (correctly) suspect it.
+        for (int j = 0; j < s.group_size; ++j) {
+            if (j != member) d.network().block(d.node_of(member), d.node_of(j));
+        }
+    };
+    hooks.partition = [&d](const std::vector<std::vector<int>>& groups) {
+        std::vector<std::set<NodeId>> node_groups;
+        for (const auto& group : groups) {
+            std::set<NodeId> nodes;
+            for (const int m : group) nodes.insert(d.node_of(m));
+            node_groups.push_back(std::move(nodes));
+        }
+        d.network().partition(node_groups);
+    };
+
+    schedule_workload(d.sim(), st, send);
+    schedule_timeline(d.sim(), st, hooks, send);
+    drive(d.sim(), s, [&d] { d.stop_suspectors(); });
+    return finish(st, d.network(), d.sim().now());
+}
+
+// ---------------------------------------------------------------------------
+// FS-NewTOP
+// ---------------------------------------------------------------------------
+
+ScenarioReport run_fsnewtop(const Scenario& s) {
+    // Crashes and partitions act on hosts. Under the collocated placement
+    // (Figure 5) every host is shared between two pairs — member i's leader
+    // and member i-1's follower — so a host-level event would sever healthy
+    // pairs and produce fail-signals the invariants would (rightly) flag as
+    // false. Only the dedicated-node placement expresses these events.
+    const bool has_host_event = std::any_of(
+        s.timeline.begin(), s.timeline.end(), [](const ScenarioEvent& e) {
+            return e.kind == ScenarioEvent::Kind::kCrashMember ||
+                   e.kind == ScenarioEvent::Kind::kPartition;
+        });
+    ensure(!has_host_event || s.placement == fsnewtop::Placement::kFull,
+           "scenario: crash/partition events on FS-NewTOP need Placement::kFull "
+           "(collocated hosts are shared between pairs)");
+
+    fsnewtop::FsNewTopOptions opts;
+    opts.group_size = s.group_size;
+    opts.threads_per_node = s.threads_per_node;
+    opts.seed = s.seed;
+    opts.placement = s.placement;
+    opts.fs_config = s.fs_config;
+    fsnewtop::FsNewTopDeployment d(opts);
+    RunState st(s);
+
+    for (int i = 0; i < s.group_size; ++i) {
+        d.invocation(i).on_delivery([&st, &d, i](const newtop::Delivery& dl) {
+            st.on_delivered(i, dl.payload, d.sim().now());
+        });
+        d.invocation(i).on_view([&st, &d, i](const newtop::GroupView& v) {
+            st.on_view(i, v, d.sim().now());
+        });
+        d.invocation(i).on_middleware_failure([&st, &d, i](const std::string& fs_name) {
+            st.on_middleware_failure(i, fs_name, d.sim().now());
+        });
+        const auto observer = [&st, &d, i](const std::string& name, const std::string& reason) {
+            st.on_fail_signal(i, name, reason, d.sim().now());
+        };
+        d.leader_fso(i).set_fail_signal_observer(observer);
+        d.follower_fso(i).set_fail_signal_observer(observer);
+    }
+
+    const SendFn send = [&d, &s](int member, Bytes payload) {
+        d.invocation(member).multicast(s.workload.service, std::move(payload));
+    };
+
+    SystemHooks hooks;
+    hooks.net = &d.network();
+    hooks.crash = [&d](int member) {
+        // Killing the pair's synchronous link is the FS-level crash: the
+        // pair can no longer self-check and announces its own failure —
+        // no timeout guessing at the other members.
+        d.network().block(d.leader_node_of(member), d.follower_node_of(member));
+    };
+    hooks.fault = [&d](const ScenarioEvent& e) {
+        fs::Fso& target = e.pair_node == PairNode::kLeader ? d.leader_fso(e.member)
+                                                           : d.follower_fso(e.member);
+        target.set_fault_plan(e.fault_plan);
+    };
+    hooks.partition = [&d](const std::vector<std::vector<int>>& groups) {
+        // kFull only (enforced above): a member's side of the cut is its app
+        // host plus both of its pair's dedicated nodes, so no pair straddles
+        // the partition.
+        std::vector<std::set<NodeId>> node_groups;
+        for (const auto& group : groups) {
+            std::set<NodeId> nodes;
+            for (const int m : group) {
+                nodes.insert(d.app_node_of(m));
+                nodes.insert(d.leader_node_of(m));
+                nodes.insert(d.follower_node_of(m));
+            }
+            node_groups.push_back(std::move(nodes));
+        }
+        d.network().partition(node_groups);
+    };
+
+    schedule_workload(d.sim(), st, send);
+    schedule_timeline(d.sim(), st, hooks, send);
+    drive(d.sim(), s, [] {});
+    return finish(st, d.network(), d.sim().now());
+}
+
+// ---------------------------------------------------------------------------
+// PBFT baseline
+// ---------------------------------------------------------------------------
+
+ScenarioReport run_pbft(const Scenario& s) {
+    ensure(s.group_size >= 4, "scenario: PBFT needs group_size >= 4 (3f+1)");
+    baseline::PbftOptions opts;
+    opts.replicas = static_cast<std::uint32_t>(s.group_size);
+    opts.threads_per_node = s.threads_per_node;
+    opts.seed = s.seed;
+    baseline::PbftDeployment d(opts);
+    RunState st(s);
+
+    d.on_delivery([&st, &d](baseline::ReplicaId replica, const baseline::PbftDelivery& del) {
+        st.on_delivered(static_cast<int>(replica), del.request.payload, d.sim().now());
+    });
+
+    const SendFn send = [&d](int member, Bytes payload) {
+        d.submit(static_cast<baseline::ReplicaId>(member), std::move(payload));
+    };
+
+    SystemHooks hooks;
+    hooks.net = &d.network();
+    hooks.crash = [&d, &s](int member) {
+        const auto r = static_cast<baseline::ReplicaId>(member);
+        for (int j = 0; j < s.group_size; ++j) {
+            if (j != member) {
+                d.network().block(d.node_of(r), d.node_of(static_cast<baseline::ReplicaId>(j)));
+            }
+        }
+    };
+    hooks.partition = [&d](const std::vector<std::vector<int>>& groups) {
+        std::vector<std::set<NodeId>> node_groups;
+        for (const auto& group : groups) {
+            std::set<NodeId> nodes;
+            for (const int m : group) nodes.insert(d.node_of(static_cast<baseline::ReplicaId>(m)));
+            node_groups.push_back(std::move(nodes));
+        }
+        d.network().partition(node_groups);
+    };
+    hooks.fire_timeouts = [&d] { d.fire_timeouts(); };
+
+    schedule_workload(d.sim(), st, send);
+    schedule_timeline(d.sim(), st, hooks, send);
+    drive(d.sim(), s, [] {});
+    return finish(st, d.network(), d.sim().now());
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const Scenario& scenario) {
+    ensure(scenario.group_size >= 1, "scenario: group_size must be >= 1");
+    switch (scenario.system) {
+        case SystemKind::kNewTop: return run_newtop(scenario);
+        case SystemKind::kFsNewTop: return run_fsnewtop(scenario);
+        case SystemKind::kPbft: return run_pbft(scenario);
+    }
+    ensure(false, "scenario: unknown system");
+    return {};
+}
+
+std::vector<ScenarioReport> run_sweep(const SweepSpec& spec) {
+    const std::vector<SystemKind> systems =
+        spec.systems.empty() ? std::vector<SystemKind>{spec.base.system} : spec.systems;
+    const std::vector<int> group_sizes =
+        spec.group_sizes.empty() ? std::vector<int>{spec.base.group_size} : spec.group_sizes;
+    const std::vector<std::uint64_t> seeds =
+        spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.seed} : spec.seeds;
+
+    std::vector<ScenarioReport> reports;
+    for (const SystemKind system : systems) {
+        for (const int n : group_sizes) {
+            if (system == SystemKind::kPbft && n < 4) continue;  // 3f+1 floor
+            for (const std::uint64_t seed : seeds) {
+                Scenario scenario = spec.base;
+                scenario.system = system;
+                scenario.group_size = n;
+                scenario.seed = seed;
+                scenario.name = spec.base.name + "/" + name_of(system) + "/n" +
+                                std::to_string(n) + "/s" + std::to_string(seed);
+                reports.push_back(run_scenario(scenario));
+            }
+        }
+    }
+    return reports;
+}
+
+}  // namespace failsig::scenario

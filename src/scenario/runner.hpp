@@ -1,0 +1,62 @@
+// Scenario execution engine and parameter sweeps.
+//
+// `run_scenario` builds the deployment a Scenario names (NewTOP, FS-NewTOP
+// or the PBFT baseline), attaches the trace recorder to the deployment's
+// observer hooks, schedules the workload and the fault timeline on the
+// deterministic simulator, runs to quiescence (or to the deadline when the
+// scenario contains perpetual activity), and returns metrics + invariant
+// verdicts + the full trace. `run_sweep` crosses systems x group sizes x
+// seeds over a base scenario — the shape every figure bench and regression
+// gate consumes (see scenario/report.hpp for the JSON/CSV output).
+#pragma once
+
+#include "scenario/invariants.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/trace.hpp"
+
+namespace failsig::scenario {
+
+/// Workload measurements, harness-compatible (see bench/harness.hpp):
+/// latency is multicast-to-delivery over every (message, member) pair;
+/// throughput is total multicasts over the first-send-to-last-delivery
+/// makespan.
+struct ScenarioMetrics {
+    double mean_latency_ms{0};
+    double p95_latency_ms{0};
+    double throughput_msg_s{0};
+    std::uint64_t network_messages{0};
+    std::uint64_t network_bytes{0};
+    std::uint64_t messages_sent{0};        ///< workload messages injected
+    std::uint64_t observed_deliveries{0};  ///< (message, member) delivery pairs
+    std::uint64_t expected_deliveries{0};  ///< messages_sent * group_size
+    std::uint64_t views_installed{0};
+    std::uint64_t fail_signal_events{0};
+    bool fail_signals{false};
+    TimePoint finished_at{0};  ///< simulated time when the run stopped
+};
+
+struct ScenarioReport {
+    Scenario scenario;
+    ScenarioMetrics metrics;
+    std::vector<InvariantResult> invariants;
+    Trace trace;
+
+    [[nodiscard]] bool all_invariants_passed() const { return all_passed(invariants); }
+};
+
+/// Executes one scenario. Deterministic: same Scenario => byte-identical
+/// `report.trace.canonical()`.
+ScenarioReport run_scenario(const Scenario& scenario);
+
+/// Cross product sweep over a base scenario. Empty axis = keep the base
+/// value. Report names are "<base.name>/<system>/n<group>/s<seed>".
+struct SweepSpec {
+    Scenario base;
+    std::vector<SystemKind> systems;
+    std::vector<int> group_sizes;
+    std::vector<std::uint64_t> seeds;
+};
+
+std::vector<ScenarioReport> run_sweep(const SweepSpec& spec);
+
+}  // namespace failsig::scenario

@@ -1,0 +1,178 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+
+namespace failsig::scenario {
+
+const char* name_of(SystemKind system) {
+    switch (system) {
+        case SystemKind::kNewTop: return "NewTOP";
+        case SystemKind::kFsNewTop: return "FS-NewTOP";
+        case SystemKind::kPbft: return "PBFT";
+    }
+    return "?";
+}
+
+ScenarioEvent ScenarioEvent::crash(TimePoint at, int member) {
+    ScenarioEvent e;
+    e.kind = Kind::kCrashMember;
+    e.at = at;
+    e.member = member;
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::fault(TimePoint at, int member, PairNode node,
+                                   const fs::FaultPlan& plan) {
+    ScenarioEvent e;
+    e.kind = Kind::kFaultPlan;
+    e.at = at;
+    e.member = member;
+    e.pair_node = node;
+    e.fault_plan = plan;
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::delay_surge(TimePoint at, Duration extra, TimePoint until) {
+    ScenarioEvent e;
+    e.kind = Kind::kDelaySurge;
+    e.at = at;
+    e.surge_extra = extra;
+    e.surge_until = until;
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::partition(TimePoint at, std::vector<std::vector<int>> groups) {
+    ScenarioEvent e;
+    e.kind = Kind::kPartition;
+    e.at = at;
+    e.groups = std::move(groups);
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::heal_partition(TimePoint at) {
+    ScenarioEvent e;
+    e.kind = Kind::kHealPartition;
+    e.at = at;
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::drop(TimePoint at, double probability) {
+    ScenarioEvent e;
+    e.kind = Kind::kDropProbability;
+    e.at = at;
+    e.drop_probability = probability;
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::burst(TimePoint at, int member, int messages) {
+    ScenarioEvent e;
+    e.kind = Kind::kBurst;
+    e.at = at;
+    e.member = member;
+    e.burst_messages = messages;
+    return e;
+}
+
+ScenarioEvent ScenarioEvent::fire_timeouts(TimePoint at) {
+    ScenarioEvent e;
+    e.kind = Kind::kFireTimeouts;
+    e.at = at;
+    return e;
+}
+
+namespace {
+
+std::string describe_fault_plan(const fs::FaultPlan& plan) {
+    std::string s;
+    if (plan.corrupt_outputs) s += " corrupt";
+    if (plan.drop_outputs) s += " drop";
+    if (plan.misorder_inputs) s += " misorder";
+    if (plan.spontaneous_fail_signals) s += " spontaneous";
+    if (plan.extra_processing_delay > 0) {
+        s += " slow+" + std::to_string(plan.extra_processing_delay) + "us";
+    }
+    if (plan.probability != 1.0) s += " p=" + std::to_string(plan.probability);
+    if (plan.active_from > 0) s += " from=" + std::to_string(plan.active_from);
+    return s.empty() ? " benign" : s;
+}
+
+}  // namespace
+
+std::string ScenarioEvent::describe() const {
+    switch (kind) {
+        case Kind::kCrashMember:
+            return "crash member=" + std::to_string(member);
+        case Kind::kFaultPlan:
+            return "fault member=" + std::to_string(member) +
+                   (pair_node == PairNode::kLeader ? " node=leader" : " node=follower") +
+                   describe_fault_plan(fault_plan);
+        case Kind::kDelaySurge:
+            return "delay_surge extra=" + std::to_string(surge_extra) +
+                   "us until=" + std::to_string(surge_until);
+        case Kind::kPartition: {
+            std::string s = "partition";
+            for (const auto& g : groups) {
+                s += " {";
+                for (std::size_t i = 0; i < g.size(); ++i) {
+                    if (i) s += ",";
+                    s += std::to_string(g[i]);
+                }
+                s += "}";
+            }
+            return s;
+        }
+        case Kind::kHealPartition:
+            return "heal_partition";
+        case Kind::kDropProbability:
+            return "drop p=" + std::to_string(drop_probability);
+        case Kind::kBurst:
+            return "burst member=" + std::to_string(member) +
+                   " messages=" + std::to_string(burst_messages);
+        case Kind::kFireTimeouts:
+            return "fire_timeouts";
+    }
+    return "?";
+}
+
+std::set<int> Scenario::faulted_members() const {
+    std::set<int> out;
+    for (const auto& e : timeline) {
+        if (e.is_member_fault()) out.insert(e.member);
+    }
+    return out;
+}
+
+bool Scenario::fault_free() const {
+    if (start_suspectors) return false;  // false suspicions can split groups
+    for (const auto& e : timeline) {
+        switch (e.kind) {
+            case ScenarioEvent::Kind::kCrashMember:
+            case ScenarioEvent::Kind::kFaultPlan:
+            case ScenarioEvent::Kind::kPartition:
+            case ScenarioEvent::Kind::kDropProbability:
+                return false;
+            default:
+                break;
+        }
+    }
+    return true;
+}
+
+bool Scenario::has_perpetual_activity() const {
+    if (start_suspectors) return true;
+    return std::any_of(timeline.begin(), timeline.end(), [](const ScenarioEvent& e) {
+        return e.kind == ScenarioEvent::Kind::kFaultPlan &&
+               e.fault_plan.spontaneous_fail_signals;
+    });
+}
+
+TimePoint Scenario::workload_end() const {
+    TimePoint end = static_cast<TimePoint>(workload.msgs_per_member) * workload.send_interval;
+    for (const auto& e : timeline) {
+        if (e.kind == ScenarioEvent::Kind::kBurst) end = std::max(end, e.at);
+        if (e.kind == ScenarioEvent::Kind::kDelaySurge) end = std::max(end, e.surge_until);
+    }
+    return end;
+}
+
+}  // namespace failsig::scenario

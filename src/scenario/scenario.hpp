@@ -1,0 +1,136 @@
+// Declarative fault-campaign scenarios.
+//
+// The paper's whole argument (§4) is comparative: the same workload and the
+// same faults, run against crash-tolerant NewTOP, FS-NewTOP, and a
+// PBFT-style baseline. A `Scenario` captures one such run as data — which
+// system, how many members, what the application sends, and a timeline of
+// `ScenarioEvent`s (crashes, Byzantine fault plans, delay surges,
+// partitions, workload bursts) — so experiments, tests and benches all
+// execute through one engine (scenario/runner.hpp) instead of hand-written
+// main() loops, and their traces are judged by one set of invariant
+// checkers (scenario/invariants.hpp).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fs/fault.hpp"
+#include "fs/fso.hpp"
+#include "fsnewtop/deployment.hpp"
+#include "newtop/suspector.hpp"
+#include "newtop/types.hpp"
+
+namespace failsig::scenario {
+
+/// Which of the three deployments the scenario drives.
+enum class SystemKind : std::uint8_t { kNewTop = 0, kFsNewTop = 1, kPbft = 2 };
+
+const char* name_of(SystemKind system);
+
+/// Which node of a fail-signal pair a fault plan targets (FS-NewTOP only).
+enum class PairNode : std::uint8_t { kLeader, kFollower };
+
+/// One timeline entry. Use the factory functions; `kind` says which fields
+/// are meaningful (same style as newtop::GcMessage).
+struct ScenarioEvent {
+    enum class Kind : std::uint8_t {
+        kCrashMember = 1,   ///< cut the member's host off the network
+        kFaultPlan = 2,     ///< FS-NewTOP: inject fs::FaultPlan at one pair node
+        kDelaySurge = 3,    ///< extra delay on all async traffic until `surge_until`
+        kPartition = 4,     ///< split members into isolated groups
+        kHealPartition = 5,
+        kDropProbability = 6,  ///< random drop on async links from `at` on
+        kBurst = 7,            ///< workload burst: extra messages from one member
+        kFireTimeouts = 8,     ///< PBFT: fire the view-change liveness timers
+    };
+
+    Kind kind{Kind::kCrashMember};
+    TimePoint at{0};
+    int member{-1};                         ///< kCrashMember / kFaultPlan / kBurst
+    PairNode pair_node{PairNode::kLeader};  ///< kFaultPlan
+    fs::FaultPlan fault_plan{};             ///< kFaultPlan
+    Duration surge_extra{0};                ///< kDelaySurge
+    TimePoint surge_until{0};               ///< kDelaySurge
+    std::vector<std::vector<int>> groups;   ///< kPartition (member indices)
+    double drop_probability{0.0};           ///< kDropProbability
+    int burst_messages{0};                  ///< kBurst
+
+    static ScenarioEvent crash(TimePoint at, int member);
+    static ScenarioEvent fault(TimePoint at, int member, PairNode node,
+                               const fs::FaultPlan& plan);
+    static ScenarioEvent delay_surge(TimePoint at, Duration extra, TimePoint until);
+    static ScenarioEvent partition(TimePoint at, std::vector<std::vector<int>> groups);
+    static ScenarioEvent heal_partition(TimePoint at);
+    static ScenarioEvent drop(TimePoint at, double probability);
+    static ScenarioEvent burst(TimePoint at, int member, int messages);
+    static ScenarioEvent fire_timeouts(TimePoint at);
+
+    /// One-line human/trace description ("crash member=2", ...).
+    [[nodiscard]] std::string describe() const;
+
+    /// True when the event makes a member genuinely faulty (crash or fault
+    /// plan), as opposed to degrading the environment (delay, partition).
+    [[nodiscard]] bool is_member_fault() const {
+        return kind == Kind::kCrashMember || kind == Kind::kFaultPlan;
+    }
+};
+
+/// What the application layer sends: every member multicasts
+/// `msgs_per_member` tagged payloads at `send_interval`, staggered across
+/// members exactly like the paper's §4 runs (see bench/harness.hpp).
+struct Workload {
+    int msgs_per_member{10};
+    /// Payload bytes; clamped up to 8 so the (sender, seq) latency tag fits.
+    std::size_t payload_size{8};
+    Duration send_interval{80 * kMillisecond};
+    newtop::ServiceType service{newtop::ServiceType::kSymmetricTotalOrder};
+};
+
+/// A complete declarative experiment specification. A run is a pure
+/// function of this struct: same Scenario => byte-identical trace.
+struct Scenario {
+    std::string name{"unnamed"};
+    SystemKind system{SystemKind::kFsNewTop};
+    /// Members for NewTOP/FS-NewTOP; replicas for PBFT (needs >= 4).
+    int group_size{3};
+    std::uint64_t seed{1};
+    int threads_per_node{2};
+    Workload workload{};
+    std::vector<ScenarioEvent> timeline;
+
+    /// Stop simulated time here (0 = run to quiescence). Mandatory in
+    /// spirit for scenarios with self-rescheduling activity (suspectors,
+    /// spontaneous fail-signals); the runner derives a deadline when the
+    /// author forgets.
+    TimePoint deadline{0};
+    /// Extra simulated time after `deadline` for in-flight traffic to
+    /// settle (the runner never waits for a perpetual event loop).
+    Duration settle{30 * kSecond};
+
+    // System-specific knobs.
+    bool start_suspectors{false};                       ///< NewTOP only
+    newtop::SuspectorOptions suspector{};               ///< NewTOP only
+    fsnewtop::Placement placement{fsnewtop::Placement::kCollocated};  ///< FS-NewTOP
+    fs::FsConfig fs_config{};                           ///< FS-NewTOP
+
+    /// Members a timeline event makes genuinely faulty. Invariants use this
+    /// as the ground truth: exclusions and fail-signals must only ever point
+    /// at members in this set.
+    [[nodiscard]] std::set<int> faulted_members() const;
+
+    /// True when no event degrades delivery (crash/fault/partition/drop) and
+    /// no timeout-based suspector runs — the runs on which validity (every
+    /// sent message delivered everywhere) must hold.
+    [[nodiscard]] bool fault_free() const;
+
+    /// True when some timeline entry perpetually reschedules itself
+    /// (suspectors, spontaneous fail-signal loops), so run-to-quiescence
+    /// would never terminate.
+    [[nodiscard]] bool has_perpetual_activity() const;
+
+    /// Last instant at which the declared workload injects a message.
+    [[nodiscard]] TimePoint workload_end() const;
+};
+
+}  // namespace failsig::scenario

@@ -1,0 +1,74 @@
+#include "scenario/trace.hpp"
+
+#include <algorithm>
+
+namespace failsig::scenario {
+
+const char* name_of(TraceEvent::Kind kind) {
+    switch (kind) {
+        case TraceEvent::Kind::kSent: return "sent";
+        case TraceEvent::Kind::kDelivered: return "delivered";
+        case TraceEvent::Kind::kViewInstalled: return "view";
+        case TraceEvent::Kind::kFailSignal: return "fail_signal";
+        case TraceEvent::Kind::kMiddlewareFailure: return "middleware_failure";
+        case TraceEvent::Kind::kScenarioEvent: return "event";
+    }
+    return "?";
+}
+
+std::string Trace::canonical() const {
+    std::string out;
+    out.reserve(events_.size() * 48);
+    for (const auto& e : events_) {
+        out += "t=" + std::to_string(e.at);
+        out += " m=" + std::to_string(e.member);
+        out += " ";
+        out += name_of(e.kind);
+        if (e.kind == TraceEvent::Kind::kSent || e.kind == TraceEvent::Kind::kDelivered) {
+            out += " msg=" + std::to_string(e.sender) + ":" + std::to_string(e.seq);
+        }
+        if (e.kind == TraceEvent::Kind::kViewInstalled) {
+            out += " members={";
+            for (std::size_t i = 0; i < e.view_members.size(); ++i) {
+                if (i) out += ",";
+                out += std::to_string(e.view_members[i]);
+            }
+            out += "}";
+        }
+        if (!e.detail.empty()) {
+            out += " ";
+            out += e.detail;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<std::vector<std::string>> Trace::deliveries_by_member(int n) const {
+    std::vector<std::vector<std::string>> out(static_cast<std::size_t>(n));
+    for (const auto& e : events_) {
+        if (e.kind != TraceEvent::Kind::kDelivered) continue;
+        if (e.member < 0 || e.member >= n) continue;
+        out[static_cast<std::size_t>(e.member)].push_back(std::to_string(e.sender) + ":" +
+                                                          std::to_string(e.seq));
+    }
+    return out;
+}
+
+std::vector<std::vector<std::vector<std::uint32_t>>> Trace::views_by_member(int n) const {
+    std::vector<std::vector<std::vector<std::uint32_t>>> out(static_cast<std::size_t>(n));
+    for (const auto& e : events_) {
+        if (e.kind != TraceEvent::Kind::kViewInstalled) continue;
+        if (e.member < 0 || e.member >= n) continue;
+        out[static_cast<std::size_t>(e.member)].push_back(e.view_members);
+    }
+    return out;
+}
+
+std::size_t Trace::count(TraceEvent::Kind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+}  // namespace failsig::scenario

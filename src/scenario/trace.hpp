@@ -1,0 +1,68 @@
+// Structured event trace of one scenario run.
+//
+// The runner taps the deployments' observer hooks (delivery/view upcalls,
+// fail-signal observers, PBFT commit upcalls) and records everything that
+// happens as `TraceEvent`s in simulation order. Invariant checkers evaluate
+// over this trace, and `canonical()` renders it as text whose bytes are a
+// pure function of the Scenario — the determinism oracle used by
+// tests/test_scenario.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace failsig::scenario {
+
+struct TraceEvent {
+    enum class Kind : std::uint8_t {
+        kSent = 1,           ///< workload injected a tagged message
+        kDelivered = 2,      ///< a member's application received a message
+        kViewInstalled = 3,  ///< a member's application received a view
+        kFailSignal = 4,     ///< an FSO started fail-signalling
+        kMiddlewareFailure = 5,  ///< Invocation layer saw its own pair fail
+        kScenarioEvent = 6,      ///< a timeline event was applied
+    };
+
+    Kind kind{Kind::kSent};
+    TimePoint at{0};
+    /// Observing member (deliveries, views) or acting member (sends, faults);
+    /// -1 for deployment-wide events.
+    int member{-1};
+    /// kSent/kDelivered: the (sender, seq) tag carried in the payload.
+    std::uint32_t sender{0};
+    std::uint64_t seq{0};
+    /// kViewInstalled: installed membership; also used by checkers.
+    std::vector<std::uint32_t> view_members;
+    /// Free-form description (view id, fail-signal reason, event text).
+    std::string detail;
+};
+
+const char* name_of(TraceEvent::Kind kind);
+
+class Trace {
+public:
+    void record(TraceEvent event) { events_.push_back(std::move(event)); }
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+    [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+    /// One line per event; byte-identical across identical runs.
+    [[nodiscard]] std::string canonical() const;
+
+    // --- derived views used by invariant checkers -------------------------
+    /// Per-member ordered "sender:seq" delivery strings.
+    [[nodiscard]] std::vector<std::vector<std::string>> deliveries_by_member(int n) const;
+    /// Per-member installed views, in installation order.
+    [[nodiscard]] std::vector<std::vector<std::vector<std::uint32_t>>> views_by_member(
+        int n) const;
+    /// Count of events of a given kind.
+    [[nodiscard]] std::size_t count(TraceEvent::Kind kind) const;
+
+private:
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace failsig::scenario

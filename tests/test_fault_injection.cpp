@@ -1,0 +1,177 @@
+// Fault-injection coverage: every fs::FaultPlan field exercised through the
+// scenario engine and judged by the invariant checkers. The contract under
+// test is the paper's §2 claim, per failure mode: whatever a single faulty
+// pair node does — corrupt outputs, drop them, process slower than κ allows,
+// misorder inputs, or emit fail-signals spontaneously — the environment
+// observes only fs1/fs2 behaviour: a unique double-signed fail-signal and a
+// clean exclusion, never a wrong result at a correct member.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+
+namespace failsig::scenario {
+namespace {
+
+/// Campaign skeleton: 3 members, tagged symmetric-TO workload, one fault
+/// plan injected at `node` of member 2's pair at t=150ms.
+Scenario campaign(const fs::FaultPlan& plan, PairNode node = PairNode::kFollower,
+                  TimePoint horizon = 45 * kSecond) {
+    Scenario s;
+    s.name = "fault-injection";
+    s.system = SystemKind::kFsNewTop;
+    s.group_size = 3;
+    s.seed = 21;
+    s.workload.msgs_per_member = 6;
+    s.timeline.push_back(ScenarioEvent::fault(150 * kMillisecond, 2, node, plan));
+    s.deadline = horizon;
+    return s;
+}
+
+void expect_all_invariants(const ScenarioReport& report) {
+    for (const auto& inv : report.invariants) {
+        EXPECT_TRUE(inv.passed) << inv.name << ": " << inv.detail;
+    }
+}
+
+std::vector<std::uint32_t> final_view_of(const ScenarioReport& report, int member) {
+    const auto views = report.trace.views_by_member(report.scenario.group_size);
+    const auto& mine = views[static_cast<std::size_t>(member)];
+    return mine.empty() ? std::vector<std::uint32_t>{} : mine.back();
+}
+
+// --- corrupt_outputs --------------------------------------------------------
+
+TEST(FaultInjection, CorruptOutputsTripsFailSignalAndExclusion) {
+    fs::FaultPlan plan;
+    plan.corrupt_outputs = true;
+    const auto report = run_scenario(campaign(plan));
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(final_view_of(report, 1), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(FaultInjection, CorruptOutputsAtLeaderNodeToo) {
+    // A1 allows the fault at either node of the pair; the construction is
+    // symmetric, so the leader-side fault must be detected identically.
+    fs::FaultPlan plan;
+    plan.corrupt_outputs = true;
+    const auto report = run_scenario(campaign(plan, PairNode::kLeader));
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// --- drop_outputs ------------------------------------------------------------
+
+TEST(FaultInjection, DropOutputsYieldsFailSignalNotSilence) {
+    fs::FaultPlan plan;
+    plan.drop_outputs = true;
+    const auto report = run_scenario(campaign(plan, PairNode::kLeader, 60 * kSecond));
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(final_view_of(report, 1), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// --- extra_processing_delay ---------------------------------------------------
+
+TEST(FaultInjection, ProcessingSlowerThanKappaBoundIsDetected) {
+    // A3 bounds the pair's relative processing speed by κ; a node that takes
+    // 2 extra seconds per input blows every compare timeout and must be
+    // detected — slow beyond the bound is indistinguishable from dead.
+    fs::FaultPlan plan;
+    plan.extra_processing_delay = 2 * kSecond;
+    const auto report = run_scenario(campaign(plan, PairNode::kFollower, 90 * kSecond));
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// --- misorder_inputs ----------------------------------------------------------
+
+TEST(FaultInjection, MisorderedLeaderDivergesAndIsCaught) {
+    // The Byzantine leader announces one order and executes another. The
+    // replicas' outputs then diverge, the Compare processes cannot match
+    // them, and the pair fail-signals. A burst of simultaneous multicasts
+    // keeps several inputs in flight so the swap has material to work on.
+    fs::FaultPlan plan;
+    plan.misorder_inputs = true;
+    Scenario s = campaign(plan, PairNode::kLeader, 90 * kSecond);
+    s.timeline.push_back(ScenarioEvent::burst(200 * kMillisecond, 0, 8));
+    s.timeline.push_back(ScenarioEvent::burst(200 * kMillisecond, 1, 8));
+    const auto report = run_scenario(s);
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// --- spontaneous_fail_signals + spontaneous_interval --------------------------
+
+TEST(FaultInjection, SpontaneousFailSignalsExcludeOnlyTheirSource) {
+    // fs2: the faulty node emits its pair's fail-signal at arbitrary times
+    // while possibly still working. The other members must exclude member 2
+    // and nobody else — and the checker confirms the signals all originate
+    // from the genuinely faulted pair.
+    fs::FaultPlan plan;
+    plan.spontaneous_fail_signals = true;
+    plan.spontaneous_interval = 30 * kMillisecond;
+    const auto report = run_scenario(campaign(plan, PairNode::kLeader, 5 * kSecond));
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(final_view_of(report, 1), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// --- active_from gating --------------------------------------------------------
+
+TEST(FaultInjection, ActiveFromInTheFutureMeansNoFaultYet) {
+    // The plan is installed but gated to activate long after the run ends:
+    // the pair must behave perfectly — no fail-signals, full view, all
+    // messages delivered everywhere.
+    fs::FaultPlan plan;
+    plan.corrupt_outputs = true;
+    plan.active_from = 10 * 60 * kSecond;  // far beyond the horizon
+    const auto report = run_scenario(campaign(plan, PairNode::kFollower, 10 * kSecond));
+    EXPECT_EQ(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_TRUE(final_view_of(report, 0).empty()) << "no view change should ever happen";
+    EXPECT_EQ(report.metrics.observed_deliveries, report.metrics.expected_deliveries);
+}
+
+TEST(FaultInjection, ActiveFromGatesTheSamePlanIntoFaultiness) {
+    // The identical plan, gated into the middle of the run, must trip.
+    fs::FaultPlan plan;
+    plan.corrupt_outputs = true;
+    plan.active_from = 300 * kMillisecond;
+    const auto report = run_scenario(campaign(plan));
+    EXPECT_GT(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(final_view_of(report, 0), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// --- probability ----------------------------------------------------------------
+
+TEST(FaultInjection, ZeroProbabilityFaultNeverFires) {
+    fs::FaultPlan plan;
+    plan.corrupt_outputs = true;
+    plan.probability = 0.0;
+    const auto report = run_scenario(campaign(plan, PairNode::kFollower, 10 * kSecond));
+    EXPECT_EQ(report.metrics.fail_signal_events, 0u);
+    expect_all_invariants(report);
+    EXPECT_EQ(report.metrics.observed_deliveries, report.metrics.expected_deliveries);
+}
+
+// --- determinism of fault campaigns ----------------------------------------------
+
+TEST(FaultInjection, EveryCampaignIsSeedDeterministic) {
+    fs::FaultPlan plan;
+    plan.drop_outputs = true;
+    const Scenario s = campaign(plan, PairNode::kLeader, 60 * kSecond);
+    const auto a = run_scenario(s);
+    const auto b = run_scenario(s);
+    EXPECT_EQ(a.trace.canonical(), b.trace.canonical());
+}
+
+}  // namespace
+}  // namespace failsig::scenario

@@ -1,0 +1,279 @@
+// Scenario engine tests: determinism (a run is a pure function of its
+// Scenario — byte-identical traces), fault-free invariant passes on all
+// three stacks, the paper's central contrast (a delay surge trips the
+// no-false-exclusion invariant on crash-tolerant NewTOP but not on
+// FS-NewTOP), sweep fan-out, and the JSON/CSV report renderings.
+#include <gtest/gtest.h>
+
+#include "scenario/cli.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+
+namespace failsig::scenario {
+namespace {
+
+Scenario fault_free(SystemKind system, int n, std::uint64_t seed = 3) {
+    Scenario s;
+    s.name = "test/fault-free";
+    s.system = system;
+    s.group_size = n;
+    s.seed = seed;
+    s.workload.msgs_per_member = 6;
+    return s;
+}
+
+Scenario surge_scenario(SystemKind system) {
+    Scenario s;
+    s.name = "test/surge";
+    s.system = system;
+    s.group_size = 3;
+    s.seed = 11;
+    s.workload.msgs_per_member = 6;
+    if (system == SystemKind::kNewTop) {
+        s.start_suspectors = true;
+        s.suspector.ping_interval = 50 * kMillisecond;
+        s.suspector.suspect_timeout = 200 * kMillisecond;
+        s.deadline = 8 * kSecond;
+    }
+    s.timeline.push_back(
+        ScenarioEvent::delay_surge(500 * kMillisecond, 1 * kSecond, 3 * kSecond));
+    return s;
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(ScenarioEngine, SameSeedSameByteIdenticalTrace) {
+    for (const SystemKind system :
+         {SystemKind::kNewTop, SystemKind::kFsNewTop, SystemKind::kPbft}) {
+        const int n = system == SystemKind::kPbft ? 4 : 3;
+        const auto a = run_scenario(fault_free(system, n, 42));
+        const auto b = run_scenario(fault_free(system, n, 42));
+        ASSERT_GT(a.trace.size(), 0u);
+        EXPECT_EQ(a.trace.canonical(), b.trace.canonical())
+            << name_of(system) << ": a run must be a pure function of its Scenario";
+    }
+}
+
+TEST(ScenarioEngine, DifferentSeedDifferentTrace) {
+    // Seeds drive network jitter, so timestamps (and usually interleavings)
+    // must differ — a guard against the seed being silently ignored.
+    const auto a = run_scenario(fault_free(SystemKind::kFsNewTop, 3, 1));
+    const auto b = run_scenario(fault_free(SystemKind::kFsNewTop, 3, 2));
+    EXPECT_NE(a.trace.canonical(), b.trace.canonical());
+}
+
+TEST(ScenarioEngine, FaultCampaignTraceIsDeterministicToo) {
+    Scenario s = fault_free(SystemKind::kFsNewTop, 3, 9);
+    fs::FaultPlan corrupt;
+    corrupt.corrupt_outputs = true;
+    s.timeline.push_back(
+        ScenarioEvent::fault(150 * kMillisecond, 2, PairNode::kFollower, corrupt));
+    s.deadline = 45 * kSecond;
+    const auto a = run_scenario(s);
+    const auto b = run_scenario(s);
+    EXPECT_EQ(a.trace.canonical(), b.trace.canonical());
+}
+
+// --- fault-free runs ---------------------------------------------------------
+
+TEST(ScenarioEngine, FaultFreeRunsPassEveryInvariantOnAllThreeStacks) {
+    for (const SystemKind system :
+         {SystemKind::kNewTop, SystemKind::kFsNewTop, SystemKind::kPbft}) {
+        const int n = system == SystemKind::kPbft ? 4 : 3;
+        const auto report = run_scenario(fault_free(system, n));
+        EXPECT_FALSE(report.invariants.empty());
+        for (const auto& inv : report.invariants) {
+            EXPECT_TRUE(inv.passed) << name_of(system) << " failed " << inv.name << ": "
+                                    << inv.detail;
+        }
+        EXPECT_EQ(report.metrics.observed_deliveries, report.metrics.expected_deliveries)
+            << name_of(system);
+        EXPECT_FALSE(report.metrics.fail_signals) << name_of(system);
+    }
+}
+
+// --- the paper's central contrast --------------------------------------------
+
+TEST(ScenarioEngine, DelaySurgeTripsNoFalseExclusionOnNewTopOnly) {
+    // Identical surge, no process fails. NewTOP's timeout suspector splits
+    // the group (a false suspicion — the invariant catches it); FS-NewTOP
+    // has no timeout to mis-fire and keeps every invariant intact.
+    const auto newtop = run_scenario(surge_scenario(SystemKind::kNewTop));
+    const auto* verdict = find_result(newtop.invariants, "no-false-exclusion");
+    ASSERT_NE(verdict, nullptr);
+    EXPECT_FALSE(verdict->passed)
+        << "the surge must provoke a false suspicion on crash-tolerant NewTOP";
+
+    const auto fsnewtop = run_scenario(surge_scenario(SystemKind::kFsNewTop));
+    for (const auto& inv : fsnewtop.invariants) {
+        EXPECT_TRUE(inv.passed) << "FS-NewTOP failed " << inv.name << ": " << inv.detail;
+    }
+    EXPECT_FALSE(fsnewtop.metrics.fail_signals);
+}
+
+TEST(ScenarioEngine, CrashIsDetectedWithoutFalseExclusions) {
+    Scenario s;
+    s.system = SystemKind::kNewTop;
+    s.group_size = 3;
+    s.seed = 5;
+    s.workload.msgs_per_member = 4;
+    s.start_suspectors = true;
+    s.suspector.ping_interval = 50 * kMillisecond;
+    s.suspector.suspect_timeout = 300 * kMillisecond;
+    s.timeline.push_back(ScenarioEvent::crash(400 * kMillisecond, 2));
+    s.deadline = 8 * kSecond;
+    const auto report = run_scenario(s);
+
+    // Survivors converge on {0, 1}; the exclusion is genuine, so every
+    // invariant holds.
+    for (const auto& inv : report.invariants) {
+        EXPECT_TRUE(inv.passed) << inv.name << ": " << inv.detail;
+    }
+    const auto views = report.trace.views_by_member(3);
+    ASSERT_FALSE(views[0].empty());
+    EXPECT_EQ(views[0].back(), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(ScenarioEngine, ByzantinePairIsExcludedAndInvariantsHold) {
+    Scenario s;
+    s.system = SystemKind::kFsNewTop;
+    s.group_size = 3;
+    s.seed = 13;
+    s.workload.msgs_per_member = 6;
+    fs::FaultPlan corrupt;
+    corrupt.corrupt_outputs = true;
+    s.timeline.push_back(
+        ScenarioEvent::fault(150 * kMillisecond, 2, PairNode::kFollower, corrupt));
+    s.deadline = 45 * kSecond;
+    const auto report = run_scenario(s);
+
+    EXPECT_TRUE(report.metrics.fail_signals) << "the faulty pair must announce itself";
+    for (const auto& inv : report.invariants) {
+        EXPECT_TRUE(inv.passed) << inv.name << ": " << inv.detail;
+    }
+    const auto views = report.trace.views_by_member(3);
+    ASSERT_FALSE(views[0].empty());
+    EXPECT_EQ(views[0].back(), (std::vector<std::uint32_t>{0, 1}));
+    ASSERT_FALSE(views[1].empty());
+    EXPECT_EQ(views[1].back(), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(ScenarioEngine, FsNewTopCrashNeedsFullPlacement) {
+    // Collocated hosts are shared between pairs, so a host-level crash
+    // cannot express "crash member m" there — the runner must refuse it
+    // instead of silently severing healthy pairs.
+    Scenario s = fault_free(SystemKind::kFsNewTop, 3);
+    s.timeline.push_back(ScenarioEvent::crash(300 * kMillisecond, 1));
+    s.deadline = 60 * kSecond;
+    EXPECT_THROW(run_scenario(s), std::logic_error);
+
+    s.placement = fsnewtop::Placement::kFull;
+    const auto report = run_scenario(s);
+    EXPECT_GT(report.metrics.fail_signal_events, 0u)
+        << "the crashed pair must announce itself instead of going silent";
+    for (const auto& inv : report.invariants) {
+        EXPECT_TRUE(inv.passed) << inv.name << ": " << inv.detail;
+    }
+    const auto views = report.trace.views_by_member(3);
+    ASSERT_FALSE(views[0].empty());
+    EXPECT_EQ(views[0].back(), (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(ScenarioEngine, PbftSurvivesBackupCrash) {
+    Scenario s;
+    s.system = SystemKind::kPbft;
+    s.group_size = 4;
+    s.seed = 17;
+    s.workload.msgs_per_member = 5;
+    s.timeline.push_back(ScenarioEvent::crash(250 * kMillisecond, 3));
+    const auto report = run_scenario(s);
+    for (const auto& inv : report.invariants) {
+        EXPECT_TRUE(inv.passed) << inv.name << ": " << inv.detail;
+    }
+    // The three live replicas (quorum 2f+1 = 3) keep committing: everything
+    // they submitted (15 of the 20 workload messages) still gets ordered;
+    // only requests submitted AT the crashed replica after its crash can be
+    // lost with it.
+    const auto deliveries = report.trace.deliveries_by_member(4);
+    EXPECT_GE(deliveries[0].size(), 15u);
+    EXPECT_LE(deliveries[0].size(), report.metrics.messages_sent);
+}
+
+// --- workload events ----------------------------------------------------------
+
+TEST(ScenarioEngine, BurstInjectsExtraTaggedMessages) {
+    Scenario s = fault_free(SystemKind::kNewTop, 3);
+    s.timeline.push_back(ScenarioEvent::burst(100 * kMillisecond, 1, 5));
+    const auto report = run_scenario(s);
+    EXPECT_EQ(report.metrics.messages_sent,
+              static_cast<std::uint64_t>(3 * s.workload.msgs_per_member + 5));
+    for (const auto& inv : report.invariants) {
+        EXPECT_TRUE(inv.passed) << inv.name << ": " << inv.detail;
+    }
+}
+
+// --- sweeps and reports --------------------------------------------------------
+
+TEST(ScenarioEngine, SweepCrossesAxesAndSkipsUndersizedPbft) {
+    SweepSpec spec;
+    spec.base = fault_free(SystemKind::kNewTop, 3);
+    spec.base.name = "sweep";
+    spec.base.workload.msgs_per_member = 3;
+    spec.systems = {SystemKind::kNewTop, SystemKind::kFsNewTop, SystemKind::kPbft};
+    spec.group_sizes = {2, 4};
+    spec.seeds = {1, 2};
+    const auto reports = run_sweep(spec);
+    // 3 systems x 2 sizes x 2 seeds, minus PBFT at n=2 (3f+1 floor): 10.
+    ASSERT_EQ(reports.size(), 10u);
+    EXPECT_EQ(reports.front().scenario.name, "sweep/NewTOP/n2/s1");
+    for (const auto& report : reports) {
+        EXPECT_TRUE(report.all_invariants_passed()) << report.scenario.name;
+    }
+}
+
+TEST(ScenarioEngine, JsonAndCsvRenderings) {
+    const auto report = run_scenario(fault_free(SystemKind::kNewTop, 2));
+    const std::string json = to_json({report});
+    EXPECT_NE(json.find("\"format\":\"failsig-scenario-report-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"system\":\"NewTOP\""), std::string::npos);
+    EXPECT_NE(json.find("\"all_invariants_passed\":true"), std::string::npos);
+
+    const std::string csv = to_csv({report});
+    EXPECT_NE(csv.find("scenario,system,group_size"), std::string::npos);
+    EXPECT_NE(csv.find("test/fault-free,NewTOP,2"), std::string::npos);
+}
+
+TEST(ScenarioEngine, JsonEscapingHandlesControlCharacters) {
+    EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// --- CLI ---------------------------------------------------------------------
+
+TEST(ScenarioCli, ParsesAllKnobs) {
+    const char* argv[] = {"prog", "--groups", "2,4,8", "--messages", "30",
+                          "--payload", "128", "--seed", "99", "--out", "r.json"};
+    const auto cli = parse_cli(11, const_cast<char**>(argv));
+    EXPECT_FALSE(cli.help);
+    EXPECT_FALSE(cli.error);
+    EXPECT_EQ(cli.group_sizes, (std::vector<int>{2, 4, 8}));
+    EXPECT_EQ(cli.msgs_per_member, 30);
+    EXPECT_EQ(cli.payload_size, 128u);
+    EXPECT_TRUE(cli.seed_set);
+    EXPECT_EQ(cli.seed, 99u);
+    EXPECT_EQ(cli.out_path, "r.json");
+}
+
+TEST(ScenarioCli, RejectsBadValues) {
+    const char* argv[] = {"prog", "--groups", "2,x"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv)).error);
+    const char* argv2[] = {"prog", "--bogus"};
+    EXPECT_TRUE(parse_cli(2, const_cast<char**>(argv2)).error);
+    // Trailing garbage must error, not silently truncate ("4x8" -> 4).
+    const char* argv3[] = {"prog", "--groups", "4x8"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv3)).error);
+    const char* argv4[] = {"prog", "--messages", "30q"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv4)).error);
+}
+
+}  // namespace
+}  // namespace failsig::scenario
