@@ -22,14 +22,9 @@ int main(int argc, char** argv) {
                  "small pools serialize dispatch and depress throughput; beyond ~10 threads "
                  "returns diminish because the single-threaded GC becomes the bottleneck");
 
-    std::vector<scenario::ScenarioReport> reports;
-    const int pools[] = {1, 2, 4, 10, 20};
-    std::printf("%-8s", "members");
-    for (const int p : pools) std::printf(" pool=%-10d", p);
-    std::printf("\n");
-
+    const std::vector<int> pools = {1, 2, 4, 10, 20};
+    std::vector<ExperimentConfig> configs;
     for (const int n : groups) {
-        std::printf("%-8d", n);
         for (const int p : pools) {
             ExperimentConfig cfg;
             cfg.group_size = n;
@@ -38,8 +33,18 @@ int main(int argc, char** argv) {
             if (cli.seed_set) cfg.seed = cli.seed;
             cfg.thread_pool = p;
             cfg.system = System::kNewTop;
-            reports.push_back(run_experiment_report(cfg));
-            const auto r = to_result(reports.back());
+            configs.push_back(cfg);
+        }
+    }
+    const auto reports = run_experiment_reports(configs, cli.jobs);
+
+    std::printf("%-8s", "members");
+    for (const int p : pools) std::printf(" pool=%-10d", p);
+    std::printf("\n");
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        std::printf("%-8d", groups[g]);
+        for (std::size_t p = 0; p < pools.size(); ++p) {
+            const auto r = to_result(reports[g * pools.size() + p]);
             std::printf(" %-15.1f", r.throughput_msg_s);
         }
         std::printf("\n");

@@ -22,25 +22,33 @@ int main(int argc, char** argv) {
                  "symmetric sends O(n^2) acknowledgements per multicast and pays more latency; "
                  "asymmetric funnels through the sequencer with O(n) messages");
 
-    std::vector<scenario::ScenarioReport> reports;
-    std::printf("%-8s %-12s %-14s %-14s %-16s %-16s\n", "members", "protocol", "NewTOP(ms)",
-                "FS-NT(ms)", "NewTOP msgs", "FS-NT msgs");
+    const std::vector<newtop::ServiceType> services = {
+        newtop::ServiceType::kSymmetricTotalOrder,
+        newtop::ServiceType::kAsymmetricTotalOrder};
+    std::vector<ExperimentConfig> configs;
     for (const int n : groups) {
-        for (const auto svc : {newtop::ServiceType::kSymmetricTotalOrder,
-                               newtop::ServiceType::kAsymmetricTotalOrder}) {
+        for (const auto svc : services) {
             ExperimentConfig cfg;
             cfg.group_size = n;
             cfg.msgs_per_member = msgs;
             if (cli.payload_size > 0) cfg.payload_size = cli.payload_size;
             if (cli.seed_set) cfg.seed = cli.seed;
             cfg.service = svc;
-
             cfg.system = System::kNewTop;
-            reports.push_back(run_experiment_report(cfg));
-            const auto newtop = to_result(reports.back());
+            configs.push_back(cfg);
             cfg.system = System::kFsNewTop;
-            reports.push_back(run_experiment_report(cfg));
-            const auto fsnewtop = to_result(reports.back());
+            configs.push_back(cfg);
+        }
+    }
+    const auto reports = run_experiment_reports(configs, cli.jobs);
+
+    std::printf("%-8s %-12s %-14s %-14s %-16s %-16s\n", "members", "protocol", "NewTOP(ms)",
+                "FS-NT(ms)", "NewTOP msgs", "FS-NT msgs");
+    std::size_t next = 0;
+    for (const int n : groups) {
+        for (const auto svc : services) {
+            const auto newtop = to_result(reports[next++]);
+            const auto fsnewtop = to_result(reports[next++]);
 
             const double per_multicast_newtop =
                 static_cast<double>(newtop.network_messages) / (static_cast<double>(msgs) * n);

@@ -76,7 +76,9 @@ BaselineResult run_fsnewtop(int group, int requests, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
     const auto cli = scenario::parse_cli(
-        argc, argv, "  (--messages sets requests per configuration; --groups/--payload unused)\n");
+        argc, argv,
+        "  (--messages sets requests per configuration; --groups/--payload/--jobs\n"
+        "   unused: per-request latency is measured by stepping one simulation)\n");
     if (cli.help) return 0;
     if (cli.error) return 1;
     const int requests = cli.msgs_per_member > 0 ? cli.msgs_per_member : 20;

@@ -21,22 +21,26 @@ int main(int argc, char** argv) {
     print_header("FIG6: symmetric total order latency vs group size (3-byte messages)",
                  "constant FS gap for small n; ~50% overhead at n=9-10; both rise with n");
 
-    std::vector<scenario::ScenarioReport> reports;
-    std::printf("%-8s %-16s %-16s %-12s %-12s\n", "members", "NewTOP(ms)", "FS-NewTOP(ms)",
-                "gap(ms)", "overhead");
+    std::vector<ExperimentConfig> configs;
     for (const int n : groups) {
         ExperimentConfig cfg;
         cfg.group_size = n;
         cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 40;
         cfg.payload_size = cli.payload_size > 0 ? cli.payload_size : 3;
         if (cli.seed_set) cfg.seed = cli.seed;
-
         cfg.system = System::kNewTop;
-        reports.push_back(run_experiment_report(cfg));
-        const auto newtop = to_result(reports.back());
+        configs.push_back(cfg);
         cfg.system = System::kFsNewTop;
-        reports.push_back(run_experiment_report(cfg));
-        const auto fsnewtop = to_result(reports.back());
+        configs.push_back(cfg);
+    }
+    const auto reports = run_experiment_reports(configs, cli.jobs);
+
+    std::printf("%-8s %-16s %-16s %-12s %-12s\n", "members", "NewTOP(ms)", "FS-NewTOP(ms)",
+                "gap(ms)", "overhead");
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const int n = groups[g];
+        const auto newtop = to_result(reports[2 * g]);
+        const auto fsnewtop = to_result(reports[2 * g + 1]);
 
         const double gap = fsnewtop.mean_latency_ms - newtop.mean_latency_ms;
         const double overhead = newtop.mean_latency_ms > 0

@@ -23,22 +23,26 @@ int main(int argc, char** argv) {
                  "both rise from n=2, peak near 10, drop beyond; FS overhead 20-30% small n, "
                  "~100% for n>10");
 
-    std::vector<scenario::ScenarioReport> reports;
-    std::printf("%-8s %-18s %-18s %-12s\n", "members", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
-                "overhead");
+    std::vector<ExperimentConfig> configs;
     for (const int n : groups) {
         ExperimentConfig cfg;
         cfg.group_size = n;
         cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 40;
         cfg.payload_size = cli.payload_size > 0 ? cli.payload_size : 3;
         if (cli.seed_set) cfg.seed = cli.seed;
-
         cfg.system = System::kNewTop;
-        reports.push_back(run_experiment_report(cfg));
-        const auto newtop = to_result(reports.back());
+        configs.push_back(cfg);
         cfg.system = System::kFsNewTop;
-        reports.push_back(run_experiment_report(cfg));
-        const auto fsnewtop = to_result(reports.back());
+        configs.push_back(cfg);
+    }
+    const auto reports = run_experiment_reports(configs, cli.jobs);
+
+    std::printf("%-8s %-18s %-18s %-12s\n", "members", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
+                "overhead");
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const int n = groups[g];
+        const auto newtop = to_result(reports[2 * g]);
+        const auto fsnewtop = to_result(reports[2 * g + 1]);
 
         const double overhead =
             fsnewtop.throughput_msg_s > 0

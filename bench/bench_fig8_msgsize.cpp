@@ -20,9 +20,7 @@ int main(int argc, char** argv) {
     print_header("FIG8: throughput vs message size (10 members)",
                  "both fall with size; FS absolute gap roughly constant across sizes");
 
-    std::vector<scenario::ScenarioReport> reports;
-    std::printf("%-10s %-18s %-18s %-14s\n", "size", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
-                "gap(msg/s)");
+    std::vector<ExperimentConfig> configs;
     for (int kb = 0; kb <= 10; ++kb) {
         ExperimentConfig cfg;
         cfg.group_size = group;
@@ -33,13 +31,18 @@ int main(int argc, char** argv) {
         cfg.send_interval = 40 * kMillisecond;
         cfg.payload_size = static_cast<std::size_t>(kb) * 1024;
         if (cfg.payload_size < 8) cfg.payload_size = 8;  // room for the latency tag
-
         cfg.system = System::kNewTop;
-        reports.push_back(run_experiment_report(cfg));
-        const auto newtop = to_result(reports.back());
+        configs.push_back(cfg);
         cfg.system = System::kFsNewTop;
-        reports.push_back(run_experiment_report(cfg));
-        const auto fsnewtop = to_result(reports.back());
+        configs.push_back(cfg);
+    }
+    const auto reports = run_experiment_reports(configs, cli.jobs);
+
+    std::printf("%-10s %-18s %-18s %-14s\n", "size", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
+                "gap(msg/s)");
+    for (int kb = 0; kb <= 10; ++kb) {
+        const auto newtop = to_result(reports[static_cast<std::size_t>(2 * kb)]);
+        const auto fsnewtop = to_result(reports[static_cast<std::size_t>(2 * kb + 1)]);
 
         std::printf("%2dk        %-18.1f %-18.1f %-14.1f%s\n", kb, newtop.throughput_msg_s,
                     fsnewtop.throughput_msg_s,

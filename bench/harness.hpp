@@ -90,6 +90,18 @@ inline ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     return to_result(run_experiment_report(cfg));
 }
 
+/// Runs every configuration on `jobs` worker threads (0 = hardware
+/// concurrency). Each config owns an independent Simulation, so results are
+/// embarrassingly parallel and come back in input order regardless of job
+/// count — the figure benches sweep group sizes through this.
+inline std::vector<scenario::ScenarioReport> run_experiment_reports(
+    const std::vector<ExperimentConfig>& configs, int jobs = 0) {
+    std::vector<scenario::Scenario> scenarios;
+    scenarios.reserve(configs.size());
+    for (const auto& cfg : configs) scenarios.push_back(make_scenario(cfg));
+    return scenario::run_scenarios(scenarios, jobs);
+}
+
 /// Prints the standard header used by the figure benches.
 inline void print_header(const char* title, const char* expectation) {
     std::printf("================================================================\n");

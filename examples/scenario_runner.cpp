@@ -162,11 +162,16 @@ int main(int argc, char** argv) {
     std::printf("failsig scenario runner — %zu campaigns, seed %llu\n\n", campaigns.size(),
                 static_cast<unsigned long long>(seed));
 
-    std::vector<scenario::ScenarioReport> reports;
+    // Campaigns own independent simulations, so they run on a worker pool
+    // (--jobs, default hardware concurrency); reports keep campaign order.
+    std::vector<scenario::Scenario> scenarios;
+    for (const auto& entry : campaigns) scenarios.push_back(entry.scenario);
+    const auto reports = scenario::run_scenarios(scenarios, cli.jobs);
+
     int mismatches = 0;
-    for (const auto& entry : campaigns) {
-        reports.push_back(scenario::run_scenario(entry.scenario));
-        const auto& report = reports.back();
+    for (std::size_t i = 0; i < campaigns.size(); ++i) {
+        const auto& entry = campaigns[i];
+        const auto& report = reports[i];
         const bool passed = report.all_invariants_passed();
         if (passed != entry.expect_all_pass) {
             ++mismatches;

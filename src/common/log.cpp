@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace failsig {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic: scenario sweeps run cells on worker threads, and every cell may
+// consult the threshold concurrently.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -20,12 +23,23 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
-    if (level < g_level) return;
-    std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+    if (level < log_level()) return;
+    // One insertion per record: concurrent sweep workers must not interleave
+    // fragments of each other's lines.
+    std::string line;
+    line.reserve(component.size() + message.size() + 16);
+    line += "[";
+    line += level_name(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    line += "\n";
+    std::cerr << line;
 }
 
 LogStream::~LogStream() {

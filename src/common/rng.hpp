@@ -11,6 +11,11 @@
 
 namespace failsig {
 
+/// Advances `state` and returns the next splitmix64 output. Doubles as the
+/// mixing finalizer for deriving independent seeds from coordinates (Rng
+/// seeding and the sweep's per-cell seed derivation share it).
+std::uint64_t splitmix64(std::uint64_t& state);
+
 /// xoshiro256** generator. Small, fast, and good enough for simulation;
 /// NOT for cryptographic use (crypto keygen uses it only in tests/benches
 /// where reproducibility is the point).

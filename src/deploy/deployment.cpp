@@ -1,0 +1,128 @@
+#include "deploy/deployment.hpp"
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/result.hpp"
+#include "deploy/fsnewtop.hpp"
+#include "deploy/newtop.hpp"
+#include "deploy/pbft.hpp"
+
+namespace failsig::deploy {
+
+const char* name_of(SystemKind system) {
+    switch (system) {
+        case SystemKind::kNewTop: return "NewTOP";
+        case SystemKind::kFsNewTop: return "FS-NewTOP";
+        case SystemKind::kPbft: return "PBFT";
+    }
+    return "?";
+}
+
+void Deployment::crash(int member) {
+    // A crashed host stops talking to everyone; peers see silence and react
+    // through whatever detection their stack has (suspectors, quorums).
+    const std::vector<NodeId> mine = nodes_of(member);
+    for (int other = 0; other < group_size(); ++other) {
+        if (other == member) continue;
+        for (const NodeId theirs : nodes_of(other)) {
+            for (const NodeId node : mine) network().block(node, theirs);
+        }
+    }
+}
+
+bool Deployment::inject_fault(const FaultInjection&) { return false; }
+
+void Deployment::partition(const std::vector<std::vector<int>>& member_groups) {
+    std::vector<std::set<NodeId>> node_groups;
+    for (const auto& group : member_groups) {
+        std::set<NodeId> nodes;
+        for (const int member : group) {
+            for (const NodeId node : nodes_of(member)) nodes.insert(node);
+        }
+        node_groups.push_back(std::move(nodes));
+    }
+    network().partition(node_groups);
+}
+
+bool Deployment::fire_timeouts() { return false; }
+
+void Deployment::stop_perpetual() {}
+
+bool Deployment::supports_host_faults() const { return true; }
+
+namespace {
+
+struct Registration {
+    DeploymentFactory factory;
+    SystemTraits traits;
+};
+
+/// The three built-in stacks are installed in the registry's own (thread-
+/// safe, once-only) initializer — not via per-TU static initializers a
+/// static-library link could drop, and before any external
+/// register_deployment call can complete, so replacements always win.
+std::map<SystemKind, Registration> make_builtin_registrations() {
+    std::map<SystemKind, Registration> builtins;
+    builtins[SystemKind::kNewTop] = Registration{
+        [](const DeploymentSpec& spec) -> std::unique_ptr<Deployment> {
+            return std::make_unique<NewTopDeployment>(spec);
+        },
+        SystemTraits{}};
+    builtins[SystemKind::kFsNewTop] = Registration{
+        [](const DeploymentSpec& spec) -> std::unique_ptr<Deployment> {
+            return std::make_unique<FsNewTopDeployment>(spec);
+        },
+        SystemTraits{}};
+    builtins[SystemKind::kPbft] = Registration{
+        [](const DeploymentSpec& spec) -> std::unique_ptr<Deployment> {
+            return std::make_unique<PbftDeployment>(spec);
+        },
+        SystemTraits{4, "PBFT needs group_size >= 4 (3f+1 with f >= 1)"}};
+    return builtins;
+}
+
+std::map<SystemKind, Registration>& registry() {
+    static std::map<SystemKind, Registration> instance = make_builtin_registrations();
+    return instance;
+}
+
+// Sweep workers read the registry concurrently; a late register_deployment
+// (fourth-system plugin) must not race them.
+std::shared_mutex& registry_mutex() {
+    static std::shared_mutex instance;
+    return instance;
+}
+
+/// Copies the registration out under the lock: references into the map must
+/// not escape while writers may rehash it.
+Registration find(SystemKind system) {
+    const std::shared_lock lock(registry_mutex());
+    const auto it = registry().find(system);
+    ensure(it != registry().end(), "deploy: no deployment registered for this system");
+    return it->second;
+}
+
+}  // namespace
+
+void register_deployment(SystemKind system, DeploymentFactory factory, SystemTraits traits) {
+    const std::unique_lock lock(registry_mutex());
+    registry()[system] = Registration{std::move(factory), traits};
+}
+
+SystemTraits traits_of(SystemKind system) { return find(system).traits; }
+
+std::unique_ptr<Deployment> make_deployment(SystemKind system, const DeploymentSpec& spec) {
+    const Registration reg = find(system);
+    ensure(spec.group_size >= 1, "deploy: group_size must be >= 1");
+    if (spec.group_size < reg.traits.min_group_size) {
+        throw std::logic_error(std::string("deploy: group_size below the system's floor: ") +
+                               reg.traits.min_group_reason);
+    }
+    return reg.factory(spec);
+}
+
+}  // namespace failsig::deploy

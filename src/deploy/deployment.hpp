@@ -1,0 +1,137 @@
+// First-class deployment seam over the three protocol stacks.
+//
+// The paper's argument is comparative: identical workloads and fault
+// campaigns run against crash-tolerant NewTOP, FS-NewTOP, and a PBFT-style
+// baseline. `Deployment` is the one interface all three implement — create
+// the members, submit workload messages, inject faults (crash / partition /
+// Byzantine fault plans / liveness timeouts), observe deliveries, views and
+// fail-signals, and reach the owning Simulation/SimNetwork — so the scenario
+// engine (src/scenario/runner.cpp) contains exactly one execution path and a
+// fourth system plugs in by implementing this interface and registering a
+// factory; no engine edits.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/fault.hpp"
+#include "fs/fso.hpp"
+#include "fsnewtop/deployment.hpp"
+#include "net/network.hpp"
+#include "newtop/suspector.hpp"
+#include "newtop/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace failsig::deploy {
+
+/// Which deployment a scenario drives. Extending the comparison means adding
+/// a value here and registering a factory (see `register_deployment`).
+enum class SystemKind : std::uint8_t { kNewTop = 0, kFsNewTop = 1, kPbft = 2 };
+
+const char* name_of(SystemKind system);
+
+/// System-agnostic construction knobs: the projection of a
+/// scenario::Scenario a deployment needs to build itself. Stack-specific
+/// fields are ignored by the stacks they don't concern.
+struct DeploymentSpec {
+    int group_size{3};
+    int threads_per_node{2};
+    std::uint64_t seed{1};
+    newtop::ServiceType service{newtop::ServiceType::kSymmetricTotalOrder};
+
+    // NewTOP only.
+    bool start_suspectors{false};
+    newtop::SuspectorOptions suspector{};
+
+    // FS-NewTOP only.
+    fsnewtop::Placement placement{fsnewtop::Placement::kCollocated};
+    fs::FsConfig fs_config{};
+};
+
+/// Application-level observers a caller attaches before the run. Deployments
+/// invoke only the callbacks their stack can produce (PBFT has no views or
+/// fail-signals); unset callbacks are skipped.
+struct Observers {
+    /// A member's application received an ordered payload.
+    std::function<void(int member, const Bytes& payload)> delivered;
+    /// A member's application installed a membership view.
+    std::function<void(int member, const newtop::GroupView& view)> view_installed;
+    /// A fail-signal process started signalling (FS-NewTOP).
+    std::function<void(int member, const std::string& source, const std::string& reason)>
+        fail_signal;
+    /// A member's Invocation layer saw its own middleware fail (FS-NewTOP).
+    std::function<void(int member, const std::string& source)> middleware_failure;
+};
+
+/// A Byzantine fault plan aimed at one member's infrastructure. Only stacks
+/// with a fail-signal layer can express it (see Deployment::inject_fault).
+struct FaultInjection {
+    int member{-1};
+    /// Target the pair's leader wrapper object (else the follower).
+    bool at_leader{true};
+    fs::FaultPlan plan{};
+};
+
+class Deployment {
+public:
+    virtual ~Deployment() = default;
+
+    // --- accessors --------------------------------------------------------
+    [[nodiscard]] virtual sim::Simulation& sim() = 0;
+    [[nodiscard]] virtual net::SimNetwork& network() = 0;
+    [[nodiscard]] virtual int group_size() const = 0;
+    /// Physical nodes that embody `member` (its host plus any dedicated pair
+    /// nodes). Host-level faults (crash, partition) operate on these.
+    [[nodiscard]] virtual std::vector<NodeId> nodes_of(int member) const = 0;
+
+    // --- workload ---------------------------------------------------------
+    virtual void attach(Observers observers) = 0;
+    /// Submits one application payload at `member` (multicast / request).
+    virtual void submit(int member, Bytes payload) = 0;
+
+    // --- fault hooks ------------------------------------------------------
+    /// Crashes the member's host. Default: isolate every node of `member`
+    /// from every node of every other member (fail-silent host).
+    virtual void crash(int member);
+    /// Injects a Byzantine fault plan; returns false when the stack has no
+    /// fail-signal layer to aim it at (callers note it instead of acting).
+    virtual bool inject_fault(const FaultInjection& fault);
+    /// Splits the members into isolated groups; traffic across groups drops
+    /// until SimNetwork::heal_partition(). Default: partition the union of
+    /// each group's `nodes_of`.
+    virtual void partition(const std::vector<std::vector<int>>& member_groups);
+    /// Fires liveness timers (PBFT view change); returns false when the
+    /// stack has none.
+    virtual bool fire_timeouts();
+    /// Stops self-rescheduling activity (suspector ping loops) so the
+    /// simulation can settle. Default: nothing to stop.
+    virtual void stop_perpetual();
+    /// Whether host-level faults (crash/partition) are expressible. False
+    /// for FS-NewTOP's collocated placement, where a host is shared between
+    /// two pairs and a host fault would sever healthy pairs.
+    [[nodiscard]] virtual bool supports_host_faults() const;
+};
+
+/// Static facts the engine needs before (or instead of) construction.
+struct SystemTraits {
+    int min_group_size{1};
+    /// Human-readable reason used when a sweep cell is skipped.
+    const char* min_group_reason{""};
+};
+
+using DeploymentFactory = std::function<std::unique_ptr<Deployment>(const DeploymentSpec&)>;
+
+/// Registers (or replaces) the factory for a system. The three built-in
+/// stacks self-register; a fourth system calls this once at startup.
+void register_deployment(SystemKind system, DeploymentFactory factory,
+                         SystemTraits traits = {});
+
+[[nodiscard]] SystemTraits traits_of(SystemKind system);
+
+/// Builds the deployment for `system`. Throws std::logic_error for unknown
+/// systems or group sizes below the system's floor.
+std::unique_ptr<Deployment> make_deployment(SystemKind system, const DeploymentSpec& spec);
+
+}  // namespace failsig::deploy

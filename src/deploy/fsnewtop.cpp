@@ -1,0 +1,69 @@
+#include "deploy/fsnewtop.hpp"
+
+namespace failsig::deploy {
+
+fsnewtop::FsNewTopOptions FsNewTopDeployment::make_options(const DeploymentSpec& spec) {
+    fsnewtop::FsNewTopOptions opts;
+    opts.group_size = spec.group_size;
+    opts.threads_per_node = spec.threads_per_node;
+    opts.seed = spec.seed;
+    opts.placement = spec.placement;
+    opts.fs_config = spec.fs_config;
+    return opts;
+}
+
+FsNewTopDeployment::FsNewTopDeployment(const DeploymentSpec& spec)
+    : inner_(make_options(spec)), service_(spec.service) {}
+
+std::vector<NodeId> FsNewTopDeployment::nodes_of(int member) const {
+    if (inner_.placement() == fsnewtop::Placement::kFull) {
+        return {inner_.app_node_of(member), inner_.leader_node_of(member),
+                inner_.follower_node_of(member)};
+    }
+    return {inner_.app_node_of(member)};
+}
+
+void FsNewTopDeployment::attach(Observers observers) {
+    observers_ = std::move(observers);
+    for (int i = 0; i < inner_.group_size(); ++i) {
+        if (observers_.delivered) {
+            inner_.invocation(i).on_delivery([this, i](const newtop::Delivery& d) {
+                observers_.delivered(i, d.payload);
+            });
+        }
+        if (observers_.view_installed) {
+            inner_.invocation(i).on_view([this, i](const newtop::GroupView& v) {
+                observers_.view_installed(i, v);
+            });
+        }
+        if (observers_.middleware_failure) {
+            inner_.invocation(i).on_middleware_failure([this, i](const std::string& fs_name) {
+                observers_.middleware_failure(i, fs_name);
+            });
+        }
+        if (observers_.fail_signal) {
+            const auto observer = [this, i](const std::string& name, const std::string& reason) {
+                observers_.fail_signal(i, name, reason);
+            };
+            inner_.leader_fso(i).set_fail_signal_observer(observer);
+            inner_.follower_fso(i).set_fail_signal_observer(observer);
+        }
+    }
+}
+
+void FsNewTopDeployment::submit(int member, Bytes payload) {
+    inner_.invocation(member).multicast(service_, std::move(payload));
+}
+
+void FsNewTopDeployment::crash(int member) {
+    inner_.network().block(inner_.leader_node_of(member), inner_.follower_node_of(member));
+}
+
+bool FsNewTopDeployment::inject_fault(const FaultInjection& fault) {
+    fs::Fso& target = fault.at_leader ? inner_.leader_fso(fault.member)
+                                      : inner_.follower_fso(fault.member);
+    target.set_fault_plan(fault.plan);
+    return true;
+}
+
+}  // namespace failsig::deploy

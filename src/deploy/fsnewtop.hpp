@@ -1,0 +1,44 @@
+// Deployment adapter for FS-NewTOP (paper §3.1): every member's GC service
+// is a fail-signal pair; Byzantine fault plans and pair-link crashes are
+// expressible, and the stack announces its own failures instead of being
+// timed out.
+#pragma once
+
+#include "deploy/deployment.hpp"
+#include "fsnewtop/deployment.hpp"
+
+namespace failsig::deploy {
+
+class FsNewTopDeployment final : public Deployment {
+public:
+    explicit FsNewTopDeployment(const DeploymentSpec& spec);
+
+    [[nodiscard]] sim::Simulation& sim() override { return inner_.sim(); }
+    [[nodiscard]] net::SimNetwork& network() override { return inner_.network(); }
+    [[nodiscard]] int group_size() const override { return inner_.group_size(); }
+    [[nodiscard]] std::vector<NodeId> nodes_of(int member) const override;
+
+    void attach(Observers observers) override;
+    void submit(int member, Bytes payload) override;
+
+    /// The FS-level crash: sever the pair's synchronous link, so the pair
+    /// can no longer self-check and announces its own failure — no timeout
+    /// guessing at the other members.
+    void crash(int member) override;
+    bool inject_fault(const FaultInjection& fault) override;
+    /// Host faults act on whole hosts; under the collocated placement every
+    /// host is shared between two pairs (member i's leader and member i-1's
+    /// follower), so only the dedicated-node placement can express them.
+    [[nodiscard]] bool supports_host_faults() const override {
+        return inner_.placement() == fsnewtop::Placement::kFull;
+    }
+
+private:
+    static fsnewtop::FsNewTopOptions make_options(const DeploymentSpec& spec);
+
+    fsnewtop::FsNewTopDeployment inner_;
+    newtop::ServiceType service_;
+    Observers observers_;
+};
+
+}  // namespace failsig::deploy

@@ -1,0 +1,38 @@
+#include "deploy/newtop.hpp"
+
+namespace failsig::deploy {
+
+newtop::NewTopOptions NewTopDeployment::make_options(const DeploymentSpec& spec) {
+    newtop::NewTopOptions opts;
+    opts.group_size = spec.group_size;
+    opts.threads_per_node = spec.threads_per_node;
+    opts.seed = spec.seed;
+    opts.start_suspectors = spec.start_suspectors;
+    opts.suspector = spec.suspector;
+    return opts;
+}
+
+NewTopDeployment::NewTopDeployment(const DeploymentSpec& spec)
+    : inner_(make_options(spec)), service_(spec.service) {}
+
+void NewTopDeployment::attach(Observers observers) {
+    observers_ = std::move(observers);
+    for (int i = 0; i < inner_.group_size(); ++i) {
+        if (observers_.delivered) {
+            inner_.invocation(i).on_delivery([this, i](const newtop::Delivery& d) {
+                observers_.delivered(i, d.payload);
+            });
+        }
+        if (observers_.view_installed) {
+            inner_.invocation(i).on_view([this, i](const newtop::GroupView& v) {
+                observers_.view_installed(i, v);
+            });
+        }
+    }
+}
+
+void NewTopDeployment::submit(int member, Bytes payload) {
+    inner_.invocation(member).multicast(service_, std::move(payload));
+}
+
+}  // namespace failsig::deploy

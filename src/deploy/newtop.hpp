@@ -1,0 +1,33 @@
+// Deployment adapter for crash-tolerant NewTOP (the paper's baseline group
+// communication stack): n hosts, one NSO each, optional ping suspectors.
+#pragma once
+
+#include "deploy/deployment.hpp"
+#include "newtop/deployment.hpp"
+
+namespace failsig::deploy {
+
+class NewTopDeployment final : public Deployment {
+public:
+    explicit NewTopDeployment(const DeploymentSpec& spec);
+
+    [[nodiscard]] sim::Simulation& sim() override { return inner_.sim(); }
+    [[nodiscard]] net::SimNetwork& network() override { return inner_.network(); }
+    [[nodiscard]] int group_size() const override { return inner_.group_size(); }
+    [[nodiscard]] std::vector<NodeId> nodes_of(int member) const override {
+        return {inner_.node_of(member)};
+    }
+
+    void attach(Observers observers) override;
+    void submit(int member, Bytes payload) override;
+    void stop_perpetual() override { inner_.stop_suspectors(); }
+
+private:
+    static newtop::NewTopOptions make_options(const DeploymentSpec& spec);
+
+    newtop::NewTopDeployment inner_;
+    newtop::ServiceType service_;
+    Observers observers_;
+};
+
+}  // namespace failsig::deploy

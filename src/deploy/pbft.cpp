@@ -1,0 +1,34 @@
+#include "deploy/pbft.hpp"
+
+namespace failsig::deploy {
+
+baseline::PbftOptions PbftDeployment::make_options(const DeploymentSpec& spec) {
+    baseline::PbftOptions opts;
+    opts.replicas = static_cast<std::uint32_t>(spec.group_size);
+    opts.threads_per_node = spec.threads_per_node;
+    opts.seed = spec.seed;
+    return opts;
+}
+
+PbftDeployment::PbftDeployment(const DeploymentSpec& spec) : inner_(make_options(spec)) {}
+
+void PbftDeployment::attach(Observers observers) {
+    observers_ = std::move(observers);
+    if (observers_.delivered) {
+        inner_.on_delivery(
+            [this](baseline::ReplicaId replica, const baseline::PbftDelivery& d) {
+                observers_.delivered(static_cast<int>(replica), d.request.payload);
+            });
+    }
+}
+
+void PbftDeployment::submit(int member, Bytes payload) {
+    inner_.submit(static_cast<baseline::ReplicaId>(member), std::move(payload));
+}
+
+bool PbftDeployment::fire_timeouts() {
+    inner_.fire_timeouts();
+    return true;
+}
+
+}  // namespace failsig::deploy

@@ -1,0 +1,36 @@
+// Deployment adapter for the PBFT-style baseline: n = 3f+1 replicas, one
+// per node; submissions are client requests at a replica, deliveries are
+// commit upcalls, and liveness needs timeout-fired view changes — the
+// speculative dependence FS-NewTOP removes.
+#pragma once
+
+#include "baseline/deployment.hpp"
+#include "deploy/deployment.hpp"
+
+namespace failsig::deploy {
+
+class PbftDeployment final : public Deployment {
+public:
+    explicit PbftDeployment(const DeploymentSpec& spec);
+
+    [[nodiscard]] sim::Simulation& sim() override { return inner_.sim(); }
+    [[nodiscard]] net::SimNetwork& network() override { return inner_.network(); }
+    [[nodiscard]] int group_size() const override {
+        return static_cast<int>(inner_.replica_count());
+    }
+    [[nodiscard]] std::vector<NodeId> nodes_of(int member) const override {
+        return {inner_.node_of(static_cast<baseline::ReplicaId>(member))};
+    }
+
+    void attach(Observers observers) override;
+    void submit(int member, Bytes payload) override;
+    bool fire_timeouts() override;
+
+private:
+    static baseline::PbftOptions make_options(const DeploymentSpec& spec);
+
+    baseline::PbftDeployment inner_;
+    Observers observers_;
+};
+
+}  // namespace failsig::deploy

@@ -1,5 +1,6 @@
 #include "scenario/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -14,15 +15,23 @@ void print_usage(const char* program, const std::string& extra) {
         "  --messages N     messages multicast per member\n"
         "  --payload N      payload bytes per message (min 8)\n"
         "  --seed N         RNG seed\n"
+        "  --jobs N         worker threads for independent runs (default:\n"
+        "                   hardware concurrency; results are identical for any N)\n"
         "  --out PATH       write a JSON report to PATH\n"
         "  --help           this text\n%s",
         program, extra.c_str());
 }
 
 bool parse_u64(const char* text, std::uint64_t& out) {
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+    if (*text == '\0') return false;
+    for (const char* p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') return false;
+    }
+    errno = 0;
     char* end = nullptr;
     const unsigned long long v = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0') return false;
+    if (end == text || *end != '\0' || errno == ERANGE) return false;
     out = static_cast<std::uint64_t>(v);
     return true;
 }
@@ -78,8 +87,11 @@ CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage) {
                 return opts;
             }
         } else if (arg == "--payload" && has_value) {
+            // 16 MiB cap: each member materializes one payload per message,
+            // so an unbounded size is an instant out-of-memory, not a sweep.
+            constexpr std::uint64_t kMaxPayload = 16ull * 1024 * 1024;
             std::uint64_t v = 0;
-            if (!parse_u64(argv[++i], v) || v == 0) {
+            if (!parse_u64(argv[++i], v) || v == 0 || v > kMaxPayload) {
                 std::fprintf(stderr, "%s: bad --payload value '%s'\n", argv[0], argv[i]);
                 opts.error = true;
                 return opts;
@@ -92,6 +104,12 @@ CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage) {
                 return opts;
             }
             opts.seed_set = true;
+        } else if (arg == "--jobs" && has_value) {
+            if (!parse_positive_int(argv[++i], opts.jobs)) {
+                std::fprintf(stderr, "%s: bad --jobs value '%s'\n", argv[0], argv[i]);
+                opts.error = true;
+                return opts;
+            }
         } else if (arg == "--out" && has_value) {
             opts.out_path = argv[++i];
         } else {

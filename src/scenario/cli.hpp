@@ -18,14 +18,15 @@ struct CliOptions {
     std::size_t payload_size{0};   ///< 0 = binary default
     std::uint64_t seed{0};
     bool seed_set{false};
+    int jobs{0};           ///< sweep worker threads; 0 = hardware concurrency
     std::string out_path;  ///< empty = no report file
     bool help{false};      ///< --help given: usage already printed
     bool error{false};     ///< bad flag/value: message already printed
 };
 
-/// Parses --groups a,b,c / --messages N / --payload N / --seed N / --out
-/// PATH / --help. `extra_usage` is appended to the usage text. Callers
-/// should exit 0 on `.help` and exit 1 on `.error`.
+/// Parses --groups a,b,c / --messages N / --payload N / --seed N / --jobs N
+/// / --out PATH / --help. `extra_usage` is appended to the usage text.
+/// Callers should exit 0 on `.help` and exit 1 on `.error`.
 CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage = "");
 
 }  // namespace failsig::scenario

@@ -128,6 +128,14 @@ void write_report(JsonWriter& w, const ScenarioReport& report) {
     w.field("system", name_of(s.system));
     w.field("group_size", s.group_size);
     w.field("seed", static_cast<std::uint64_t>(s.seed));
+    // The seeds-axis coordinates; for sweep cells `seed` above is the
+    // per-cell derived hash, so notebooks group/join on these instead of
+    // parsing "/s<N>" out of the name.
+    w.field("seed_axis", report.from_sweep ? report.seed_axis
+                                           : static_cast<std::uint64_t>(s.seed));
+    w.field("seed_index", report.from_sweep ? report.seed_index : std::uint64_t{0});
+    w.field("status", report.skipped ? "skipped" : "ok");
+    if (report.skipped) w.field("skip_reason", report.skip_reason);
 
     w.key("workload");
     w.begin_object();
@@ -172,7 +180,9 @@ void write_report(JsonWriter& w, const ScenarioReport& report) {
         w.end_object();
     }
     w.end_array();
-    w.field("all_invariants_passed", report.all_invariants_passed());
+    // Skipped cells never ran their checkers: omit the verdict rather than
+    // let the vacuous empty-invariants "pass" inflate gate pass rates.
+    if (!report.skipped) w.field("all_invariants_passed", report.all_invariants_passed());
     w.field("trace_events", static_cast<std::uint64_t>(report.trace.size()));
     w.end_object();
 }
@@ -192,22 +202,50 @@ std::string to_json(const std::vector<ScenarioReport>& reports) {
 
 std::string to_csv(const std::vector<ScenarioReport>& reports) {
     std::string out =
-        "scenario,system,group_size,seed,mean_latency_ms,p95_latency_ms,throughput_msg_s,"
+        "scenario,system,group_size,seed,seed_axis,seed_index,"
+        "mean_latency_ms,p95_latency_ms,throughput_msg_s,"
         "network_messages,network_bytes,messages_sent,observed_deliveries,expected_deliveries,"
-        "views_installed,fail_signal_events,invariants_passed\n";
+        "views_installed,fail_signal_events,invariants_passed,status\n";
     for (const auto& report : reports) {
         const auto& s = report.scenario;
         const auto& m = report.metrics;
-        char buf[512];
-        std::snprintf(buf, sizeof buf,
-                      "%s,%s,%d,%" PRIu64 ",%.3f,%.3f,%.2f,%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%s\n",
-                      s.name.c_str(), name_of(s.system), s.group_size,
-                      static_cast<std::uint64_t>(s.seed), m.mean_latency_ms, m.p95_latency_ms,
+        // Names and skip reasons are free text (scenario authors and fourth
+        // systems supply them); keep the row's column and line structure
+        // intact without CSV quoting, and never bound the row length — only
+        // the numeric middle goes through a fixed snprintf buffer.
+        const auto csv_field = [](std::string text) {
+            for (char& c : text) {
+                if (c == ',') c = ';';
+                if (c == '\n' || c == '\r') c = ' ';
+            }
+            return text;
+        };
+        const std::string name = csv_field(s.name);
+        const std::string status =
+            csv_field(report.skipped ? "skipped(" + report.skip_reason + ")" : "ok");
+        const std::uint64_t seed_axis =
+            report.from_sweep ? report.seed_axis : static_cast<std::uint64_t>(s.seed);
+        const std::uint64_t seed_index = report.from_sweep ? report.seed_index : 0;
+        char nums[384];
+        std::snprintf(nums, sizeof nums,
+                      "%d,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%.3f,%.3f,%.2f,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64,
+                      s.group_size, static_cast<std::uint64_t>(s.seed), seed_axis, seed_index,
+                      m.mean_latency_ms, m.p95_latency_ms,
                       m.throughput_msg_s, m.network_messages, m.network_bytes, m.messages_sent,
                       m.observed_deliveries, m.expected_deliveries, m.views_installed,
-                      m.fail_signal_events, report.all_invariants_passed() ? "yes" : "no");
-        out += buf;
+                      m.fail_signal_events);
+        out += name;
+        out += ",";
+        out += name_of(s.system);
+        out += ",";
+        out += nums;
+        out += ",";
+        out += report.skipped ? "n/a" : (report.all_invariants_passed() ? "yes" : "no");
+        out += ",";
+        out += status;
+        out += "\n";
     }
     return out;
 }
@@ -232,6 +270,13 @@ void print_table(const std::vector<ScenarioReport>& reports) {
                 "lat(ms)", "thru(m/s)", "deliveries", "fsig", "invariants");
     for (const auto& report : reports) {
         const auto& m = report.metrics;
+        if (report.skipped) {
+            std::printf("%-34s %-10s %4d %-10s %-10s %-11s %-6s skipped: %s\n",
+                        report.scenario.name.c_str(), name_of(report.scenario.system),
+                        report.scenario.group_size, "-", "-", "-", "-",
+                        report.skip_reason.c_str());
+            continue;
+        }
         std::string verdict = report.all_invariants_passed() ? "all-pass" : "";
         if (verdict.empty()) {
             for (const auto& inv : report.invariants) {

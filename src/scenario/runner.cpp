@@ -1,13 +1,16 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <functional>
 #include <map>
+#include <thread>
+#include <utility>
 
-#include "baseline/deployment.hpp"
 #include "common/result.hpp"
-#include "fsnewtop/deployment.hpp"
-#include "newtop/deployment.hpp"
+#include "common/rng.hpp"
+#include "deploy/deployment.hpp"
 #include "sim/stats.hpp"
 
 namespace failsig::scenario {
@@ -106,83 +109,73 @@ struct RunState {
     }
 };
 
-using SendFn = std::function<void(int member, Bytes payload)>;
-
-void fire_send(RunState& st, sim::Simulation& sim, int member, const SendFn& send) {
+void fire_send(RunState& st, deploy::Deployment& d, int member) {
     const std::uint32_t seq = st.next_seq[static_cast<std::size_t>(member)]++;
     Bytes payload = make_payload(static_cast<std::uint32_t>(member), seq,
                                  std::max<std::size_t>(st.s.workload.payload_size, 8));
-    st.on_sent(member, seq, sim.now());
-    send(member, std::move(payload));
+    st.on_sent(member, seq, d.sim().now());
+    d.submit(member, std::move(payload));
 }
 
 /// Members are staggered across the send interval, as independent
 /// applications would be (identical to the figure benches' injection).
-void schedule_workload(sim::Simulation& sim, RunState& st, const SendFn& send) {
+void schedule_workload(deploy::Deployment& d, RunState& st) {
     const auto& w = st.s.workload;
     const int n = st.s.group_size;
     for (int k = 0; k < w.msgs_per_member; ++k) {
         for (int i = 0; i < n; ++i) {
             const TimePoint at = static_cast<TimePoint>(k) * w.send_interval +
                                  (static_cast<TimePoint>(i) * w.send_interval) / n;
-            sim.schedule_at(at, [&st, &sim, &send, i] { fire_send(st, sim, i, send); });
+            d.sim().schedule_at(at, [&st, &d, i] { fire_send(st, d, i); });
         }
     }
 }
 
-/// System-specific handlers for the timeline events; null entries record a
-/// not-applicable note instead of acting (e.g. FaultPlans on systems with
-/// no fail-signal layer).
-struct SystemHooks {
-    net::SimNetwork* net{nullptr};
-    std::function<void(int member)> crash;
-    std::function<void(const ScenarioEvent&)> fault;
-    std::function<void(const std::vector<std::vector<int>>&)> partition;
-    std::function<void()> fire_timeouts;
-};
-
-void schedule_timeline(sim::Simulation& sim, RunState& st, const SystemHooks& hooks,
-                       const SendFn& send) {
+/// Applies the declarative fault timeline through the Deployment interface.
+/// Capability-gated hooks (fault plans, liveness timers) record a
+/// not-applicable note instead of acting when the stack lacks the layer.
+void schedule_timeline(deploy::Deployment& d, RunState& st) {
     for (const auto& event : st.s.timeline) {
-        sim.schedule_at(event.at, [&st, &sim, &hooks, &send, event] {
+        d.sim().schedule_at(event.at, [&st, &d, event] {
             TraceEvent te;
             te.kind = TraceEvent::Kind::kScenarioEvent;
-            te.at = sim.now();
+            te.at = d.sim().now();
             te.member = event.member;
             te.detail = event.describe();
             using Kind = ScenarioEvent::Kind;
             switch (event.kind) {
                 case Kind::kCrashMember:
-                    hooks.crash(event.member);
+                    d.crash(event.member);
                     break;
-                case Kind::kFaultPlan:
-                    if (hooks.fault) {
-                        hooks.fault(event);
-                    } else {
+                case Kind::kFaultPlan: {
+                    deploy::FaultInjection fault;
+                    fault.member = event.member;
+                    fault.at_leader = event.pair_node == PairNode::kLeader;
+                    fault.plan = event.fault_plan;
+                    if (!d.inject_fault(fault)) {
                         te.detail += " [ignored: no fail-signal layer]";
                     }
                     break;
+                }
                 case Kind::kDelaySurge:
-                    hooks.net->delay_surge(event.surge_extra, event.surge_until);
+                    d.network().delay_surge(event.surge_extra, event.surge_until);
                     break;
                 case Kind::kPartition:
-                    hooks.partition(event.groups);
+                    d.partition(event.groups);
                     break;
                 case Kind::kHealPartition:
-                    hooks.net->heal_partition();
+                    d.network().heal_partition();
                     break;
                 case Kind::kDropProbability:
-                    hooks.net->set_drop_probability(event.drop_probability);
+                    d.network().set_drop_probability(event.drop_probability);
                     break;
                 case Kind::kBurst:
                     for (int b = 0; b < event.burst_messages; ++b) {
-                        fire_send(st, sim, event.member, send);
+                        fire_send(st, d, event.member);
                     }
                     break;
                 case Kind::kFireTimeouts:
-                    if (hooks.fire_timeouts) {
-                        hooks.fire_timeouts();
-                    } else {
+                    if (!d.fire_timeouts()) {
                         te.detail += " [ignored: no liveness timers]";
                     }
                     break;
@@ -196,19 +189,18 @@ void schedule_timeline(sim::Simulation& sim, RunState& st, const SystemHooks& ho
 /// (possibly derived) deadline plus a bounded settle window — perpetual
 /// event loops (suspector pings, spontaneous fail-signals) can therefore
 /// never wedge a run.
-template <typename StopPerpetualFn>
-void drive(sim::Simulation& sim, const Scenario& s, StopPerpetualFn&& stop_perpetual) {
+void drive(deploy::Deployment& d, const Scenario& s) {
     TimePoint deadline = s.deadline;
     if (deadline == 0 && s.has_perpetual_activity()) {
         deadline = s.workload_end() + 10 * kSecond;
     }
     if (deadline == 0) {
-        sim.run();
+        d.sim().run();
         return;
     }
-    sim.run_until(deadline);
-    stop_perpetual();
-    sim.run_until(deadline + s.settle);
+    d.sim().run_until(deadline);
+    d.stop_perpetual();
+    d.sim().run_until(deadline + s.settle);
 }
 
 ScenarioReport finish(RunState& st, net::SimNetwork& net, TimePoint now) {
@@ -237,202 +229,120 @@ ScenarioReport finish(RunState& st, net::SimNetwork& net, TimePoint now) {
     return report;
 }
 
-// ---------------------------------------------------------------------------
-// Crash-tolerant NewTOP
-// ---------------------------------------------------------------------------
-
-ScenarioReport run_newtop(const Scenario& s) {
-    newtop::NewTopOptions opts;
-    opts.group_size = s.group_size;
-    opts.threads_per_node = s.threads_per_node;
-    opts.seed = s.seed;
-    opts.start_suspectors = s.start_suspectors;
-    opts.suspector = s.suspector;
-    newtop::NewTopDeployment d(opts);
-    RunState st(s);
-
-    for (int i = 0; i < s.group_size; ++i) {
-        d.invocation(i).on_delivery([&st, &d, i](const newtop::Delivery& dl) {
-            st.on_delivered(i, dl.payload, d.sim().now());
-        });
-        d.invocation(i).on_view([&st, &d, i](const newtop::GroupView& v) {
-            st.on_view(i, v, d.sim().now());
-        });
-    }
-
-    const SendFn send = [&d, &s](int member, Bytes payload) {
-        d.invocation(member).multicast(s.workload.service, std::move(payload));
-    };
-
-    SystemHooks hooks;
-    hooks.net = &d.network();
-    hooks.crash = [&d, &s](int member) {
-        // A crashed host stops talking to everyone; its suspector peers see
-        // silence and (correctly) suspect it.
-        for (int j = 0; j < s.group_size; ++j) {
-            if (j != member) d.network().block(d.node_of(member), d.node_of(j));
-        }
-    };
-    hooks.partition = [&d](const std::vector<std::vector<int>>& groups) {
-        std::vector<std::set<NodeId>> node_groups;
-        for (const auto& group : groups) {
-            std::set<NodeId> nodes;
-            for (const int m : group) nodes.insert(d.node_of(m));
-            node_groups.push_back(std::move(nodes));
-        }
-        d.network().partition(node_groups);
-    };
-
-    schedule_workload(d.sim(), st, send);
-    schedule_timeline(d.sim(), st, hooks, send);
-    drive(d.sim(), s, [&d] { d.stop_suspectors(); });
-    return finish(st, d.network(), d.sim().now());
+deploy::DeploymentSpec spec_of(const Scenario& s) {
+    deploy::DeploymentSpec spec;
+    spec.group_size = s.group_size;
+    spec.threads_per_node = s.threads_per_node;
+    spec.seed = s.seed;
+    spec.service = s.workload.service;
+    spec.start_suspectors = s.start_suspectors;
+    spec.suspector = s.suspector;
+    spec.placement = s.placement;
+    spec.fs_config = s.fs_config;
+    return spec;
 }
 
-// ---------------------------------------------------------------------------
-// FS-NewTOP
-// ---------------------------------------------------------------------------
+/// Runs `fn(0..count-1)` on `jobs` workers (0 = hardware concurrency),
+/// pulling indices from a shared counter. All cells run even if some throw;
+/// the lowest-index exception is rethrown afterwards, so failure behaviour
+/// does not depend on scheduling.
+void parallel_for(std::size_t count, int jobs, const std::function<void(std::size_t)>& fn) {
+    if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs < 1) jobs = 1;
+    jobs = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), count));
 
-ScenarioReport run_fsnewtop(const Scenario& s) {
-    // Crashes and partitions act on hosts. Under the collocated placement
-    // (Figure 5) every host is shared between two pairs — member i's leader
-    // and member i-1's follower — so a host-level event would sever healthy
-    // pairs and produce fail-signals the invariants would (rightly) flag as
-    // false. Only the dedicated-node placement expresses these events.
-    const bool has_host_event = std::any_of(
-        s.timeline.begin(), s.timeline.end(), [](const ScenarioEvent& e) {
-            return e.kind == ScenarioEvent::Kind::kCrashMember ||
-                   e.kind == ScenarioEvent::Kind::kPartition;
-        });
-    ensure(!has_host_event || s.placement == fsnewtop::Placement::kFull,
-           "scenario: crash/partition events on FS-NewTOP need Placement::kFull "
-           "(collocated hosts are shared between pairs)");
-
-    fsnewtop::FsNewTopOptions opts;
-    opts.group_size = s.group_size;
-    opts.threads_per_node = s.threads_per_node;
-    opts.seed = s.seed;
-    opts.placement = s.placement;
-    opts.fs_config = s.fs_config;
-    fsnewtop::FsNewTopDeployment d(opts);
-    RunState st(s);
-
-    for (int i = 0; i < s.group_size; ++i) {
-        d.invocation(i).on_delivery([&st, &d, i](const newtop::Delivery& dl) {
-            st.on_delivered(i, dl.payload, d.sim().now());
-        });
-        d.invocation(i).on_view([&st, &d, i](const newtop::GroupView& v) {
-            st.on_view(i, v, d.sim().now());
-        });
-        d.invocation(i).on_middleware_failure([&st, &d, i](const std::string& fs_name) {
-            st.on_middleware_failure(i, fs_name, d.sim().now());
-        });
-        const auto observer = [&st, &d, i](const std::string& name, const std::string& reason) {
-            st.on_fail_signal(i, name, reason, d.sim().now());
-        };
-        d.leader_fso(i).set_fail_signal_observer(observer);
-        d.follower_fso(i).set_fail_signal_observer(observer);
+    std::vector<std::exception_ptr> errors(count);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(jobs));
+        for (int t = 0; t < jobs; ++t) {
+            workers.emplace_back([&next, count, &fn, &errors] {
+                for (;;) {
+                    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= count) return;
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        for (auto& worker : workers) worker.join();
     }
-
-    const SendFn send = [&d, &s](int member, Bytes payload) {
-        d.invocation(member).multicast(s.workload.service, std::move(payload));
-    };
-
-    SystemHooks hooks;
-    hooks.net = &d.network();
-    hooks.crash = [&d](int member) {
-        // Killing the pair's synchronous link is the FS-level crash: the
-        // pair can no longer self-check and announces its own failure —
-        // no timeout guessing at the other members.
-        d.network().block(d.leader_node_of(member), d.follower_node_of(member));
-    };
-    hooks.fault = [&d](const ScenarioEvent& e) {
-        fs::Fso& target = e.pair_node == PairNode::kLeader ? d.leader_fso(e.member)
-                                                           : d.follower_fso(e.member);
-        target.set_fault_plan(e.fault_plan);
-    };
-    hooks.partition = [&d](const std::vector<std::vector<int>>& groups) {
-        // kFull only (enforced above): a member's side of the cut is its app
-        // host plus both of its pair's dedicated nodes, so no pair straddles
-        // the partition.
-        std::vector<std::set<NodeId>> node_groups;
-        for (const auto& group : groups) {
-            std::set<NodeId> nodes;
-            for (const int m : group) {
-                nodes.insert(d.app_node_of(m));
-                nodes.insert(d.leader_node_of(m));
-                nodes.insert(d.follower_node_of(m));
-            }
-            node_groups.push_back(std::move(nodes));
-        }
-        d.network().partition(node_groups);
-    };
-
-    schedule_workload(d.sim(), st, send);
-    schedule_timeline(d.sim(), st, hooks, send);
-    drive(d.sim(), s, [] {});
-    return finish(st, d.network(), d.sim().now());
-}
-
-// ---------------------------------------------------------------------------
-// PBFT baseline
-// ---------------------------------------------------------------------------
-
-ScenarioReport run_pbft(const Scenario& s) {
-    ensure(s.group_size >= 4, "scenario: PBFT needs group_size >= 4 (3f+1)");
-    baseline::PbftOptions opts;
-    opts.replicas = static_cast<std::uint32_t>(s.group_size);
-    opts.threads_per_node = s.threads_per_node;
-    opts.seed = s.seed;
-    baseline::PbftDeployment d(opts);
-    RunState st(s);
-
-    d.on_delivery([&st, &d](baseline::ReplicaId replica, const baseline::PbftDelivery& del) {
-        st.on_delivered(static_cast<int>(replica), del.request.payload, d.sim().now());
-    });
-
-    const SendFn send = [&d](int member, Bytes payload) {
-        d.submit(static_cast<baseline::ReplicaId>(member), std::move(payload));
-    };
-
-    SystemHooks hooks;
-    hooks.net = &d.network();
-    hooks.crash = [&d, &s](int member) {
-        const auto r = static_cast<baseline::ReplicaId>(member);
-        for (int j = 0; j < s.group_size; ++j) {
-            if (j != member) {
-                d.network().block(d.node_of(r), d.node_of(static_cast<baseline::ReplicaId>(j)));
-            }
-        }
-    };
-    hooks.partition = [&d](const std::vector<std::vector<int>>& groups) {
-        std::vector<std::set<NodeId>> node_groups;
-        for (const auto& group : groups) {
-            std::set<NodeId> nodes;
-            for (const int m : group) nodes.insert(d.node_of(static_cast<baseline::ReplicaId>(m)));
-            node_groups.push_back(std::move(nodes));
-        }
-        d.network().partition(node_groups);
-    };
-    hooks.fire_timeouts = [&d] { d.fire_timeouts(); };
-
-    schedule_workload(d.sim(), st, send);
-    schedule_timeline(d.sim(), st, hooks, send);
-    drive(d.sim(), s, [] {});
-    return finish(st, d.network(), d.sim().now());
+    for (auto& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
 }
 
 }  // namespace
 
 ScenarioReport run_scenario(const Scenario& scenario) {
     ensure(scenario.group_size >= 1, "scenario: group_size must be >= 1");
-    switch (scenario.system) {
-        case SystemKind::kNewTop: return run_newtop(scenario);
-        case SystemKind::kFsNewTop: return run_fsnewtop(scenario);
-        case SystemKind::kPbft: return run_pbft(scenario);
+    const auto d = deploy::make_deployment(scenario.system, spec_of(scenario));
+
+    // Host-level events (crashes, partitions) need a placement that can
+    // express them; reject up front instead of silently severing healthy
+    // infrastructure (FS-NewTOP's collocated hosts are shared between pairs).
+    const bool has_host_event = std::any_of(
+        scenario.timeline.begin(), scenario.timeline.end(), [](const ScenarioEvent& e) {
+            return e.kind == ScenarioEvent::Kind::kCrashMember ||
+                   e.kind == ScenarioEvent::Kind::kPartition;
+        });
+    if (has_host_event && !d->supports_host_faults()) {
+        throw ScenarioRejected(
+            "scenario: crash/partition events need a deployment that can express host "
+            "faults (FS-NewTOP requires Placement::kFull — collocated hosts are shared "
+            "between pairs)");
     }
-    ensure(false, "scenario: unknown system");
-    return {};
+
+    RunState st(scenario);
+    deploy::Observers observers;
+    deploy::Deployment& dep = *d;
+    observers.delivered = [&st, &dep](int member, const Bytes& payload) {
+        st.on_delivered(member, payload, dep.sim().now());
+    };
+    observers.view_installed = [&st, &dep](int member, const newtop::GroupView& view) {
+        st.on_view(member, view, dep.sim().now());
+    };
+    observers.fail_signal = [&st, &dep](int member, const std::string& source,
+                                        const std::string& reason) {
+        st.on_fail_signal(member, source, reason, dep.sim().now());
+    };
+    observers.middleware_failure = [&st, &dep](int member, const std::string& source) {
+        st.on_middleware_failure(member, source, dep.sim().now());
+    };
+    dep.attach(std::move(observers));
+
+    schedule_workload(dep, st);
+    schedule_timeline(dep, st);
+    drive(dep, scenario);
+    return finish(st, dep.network(), dep.sim().now());
+}
+
+std::vector<ScenarioReport> run_scenarios(const std::vector<Scenario>& scenarios, int jobs) {
+    std::vector<ScenarioReport> reports(scenarios.size());
+    parallel_for(scenarios.size(), jobs,
+                 [&](std::size_t i) { reports[i] = run_scenario(scenarios[i]); });
+    return reports;
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t axis_seed, SystemKind system, int group_size) {
+    std::uint64_t state = axis_seed;
+    std::uint64_t h = splitmix64(state);
+    state = h ^ static_cast<std::uint64_t>(system);
+    h = splitmix64(state);
+    state = h ^ static_cast<std::uint64_t>(group_size);
+    return splitmix64(state);
 }
 
 std::vector<ScenarioReport> run_sweep(const SweepSpec& spec) {
@@ -443,21 +353,60 @@ std::vector<ScenarioReport> run_sweep(const SweepSpec& spec) {
     const std::vector<std::uint64_t> seeds =
         spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.seed} : spec.seeds;
 
-    std::vector<ScenarioReport> reports;
+    // Materialize every cell in canonical order first (the report order),
+    // then execute the runnable ones on the worker pool. Cells below a
+    // system's group-size floor become explicit skipped rows, not holes.
+    struct Cell {
+        Scenario scenario;
+        std::uint64_t seed_axis{0};
+        std::uint64_t seed_index{0};
+        const char* skip_reason{nullptr};
+    };
+    std::vector<Cell> cells;
     for (const SystemKind system : systems) {
+        const deploy::SystemTraits traits = deploy::traits_of(system);
         for (const int n : group_sizes) {
-            if (system == SystemKind::kPbft && n < 4) continue;  // 3f+1 floor
-            for (const std::uint64_t seed : seeds) {
-                Scenario scenario = spec.base;
-                scenario.system = system;
-                scenario.group_size = n;
-                scenario.seed = seed;
-                scenario.name = spec.base.name + "/" + name_of(system) + "/n" +
-                                std::to_string(n) + "/s" + std::to_string(seed);
-                reports.push_back(run_scenario(scenario));
+            for (std::size_t seed_index = 0; seed_index < seeds.size(); ++seed_index) {
+                const std::uint64_t seed = seeds[seed_index];
+                Cell cell;
+                cell.scenario = spec.base;
+                cell.scenario.system = system;
+                cell.scenario.group_size = n;
+                cell.scenario.seed = derive_cell_seed(seed, system, n);
+                cell.scenario.name = spec.base.name + "/" + name_of(system) + "/n" +
+                                     std::to_string(n) + "/s" + std::to_string(seed);
+                cell.seed_axis = seed;
+                cell.seed_index = static_cast<std::uint64_t>(seed_index);
+                if (n < traits.min_group_size) cell.skip_reason = traits.min_group_reason;
+                cells.push_back(std::move(cell));
             }
         }
     }
+
+    std::vector<ScenarioReport> reports(cells.size());
+    parallel_for(cells.size(), spec.jobs, [&](std::size_t i) {
+        if (cells[i].skip_reason != nullptr) {
+            reports[i].scenario = cells[i].scenario;
+            reports[i].skipped = true;
+            reports[i].skip_reason = cells[i].skip_reason;
+        } else {
+            try {
+                reports[i] = run_scenario(cells[i].scenario);
+            } catch (const ScenarioRejected& rejected) {
+                // A capability gate rejected the whole cell; record it like
+                // the group-size floor does instead of discarding every
+                // other cell's result with a rethrow. Any other exception
+                // (bad member index, protocol invariant) stays fatal.
+                reports[i] = ScenarioReport{};
+                reports[i].scenario = cells[i].scenario;
+                reports[i].skipped = true;
+                reports[i].skip_reason = rejected.what();
+            }
+        }
+        reports[i].from_sweep = true;
+        reports[i].seed_axis = cells[i].seed_axis;
+        reports[i].seed_index = cells[i].seed_index;
+    });
     return reports;
 }
 

@@ -1,14 +1,20 @@
 // Scenario execution engine and parameter sweeps.
 //
-// `run_scenario` builds the deployment a Scenario names (NewTOP, FS-NewTOP
-// or the PBFT baseline), attaches the trace recorder to the deployment's
-// observer hooks, schedules the workload and the fault timeline on the
-// deterministic simulator, runs to quiescence (or to the deadline when the
-// scenario contains perpetual activity), and returns metrics + invariant
-// verdicts + the full trace. `run_sweep` crosses systems x group sizes x
-// seeds over a base scenario — the shape every figure bench and regression
-// gate consumes (see scenario/report.hpp for the JSON/CSV output).
+// `run_scenario` builds the deployment a Scenario names through the
+// deploy::Deployment registry, attaches the trace recorder to the
+// deployment's observer hooks, schedules the workload and the fault
+// timeline on the deterministic simulator, runs to quiescence (or to the
+// deadline when the scenario contains perpetual activity), and returns
+// metrics + invariant verdicts + the full trace. The engine is one generic
+// path: everything system-specific lives behind deploy::Deployment, so a
+// fourth system needs a registry entry, not engine edits. `run_sweep`
+// crosses systems x group sizes x seeds over a base scenario — the shape
+// every figure bench and regression gate consumes (see scenario/report.hpp
+// for the JSON/CSV output) — executing independent cells on a worker pool
+// (`jobs`) while keeping the report byte-identical to a serial run.
 #pragma once
+
+#include <stdexcept>
 
 #include "scenario/invariants.hpp"
 #include "scenario/scenario.hpp"
@@ -40,13 +46,41 @@ struct ScenarioReport {
     ScenarioMetrics metrics;
     std::vector<InvariantResult> invariants;
     Trace trace;
+    /// Sweep cells below a system's group-size floor are recorded, not run:
+    /// metrics/invariants/trace stay empty and `skip_reason` says why.
+    bool skipped{false};
+    std::string skip_reason;
+    /// Sweep coordinates (set by run_sweep): the seeds-axis value and its
+    /// index, from which `scenario.seed` was derived. For single runs they
+    /// default to the scenario's own seed so report columns stay uniform.
+    bool from_sweep{false};
+    std::uint64_t seed_axis{0};
+    std::uint64_t seed_index{0};
 
     [[nodiscard]] bool all_invariants_passed() const { return all_passed(invariants); }
 };
 
+/// Thrown when a scenario names a fault its deployment cannot express
+/// (e.g. a host-level crash on FS-NewTOP's collocated placement, where a
+/// host is shared between two pairs). `run_sweep` converts exactly these
+/// into skipped rows; every other error stays fatal.
+class ScenarioRejected : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
 /// Executes one scenario. Deterministic: same Scenario => byte-identical
-/// `report.trace.canonical()`.
+/// `report.trace.canonical()`. Throws ScenarioRejected when the deployment
+/// cannot express an event in the timeline.
 ScenarioReport run_scenario(const Scenario& scenario);
+
+/// Runs every scenario on a pool of `jobs` worker threads (0 = hardware
+/// concurrency). Each scenario owns an independent Simulation, so results
+/// are embarrassingly parallel; they come back in input order regardless of
+/// job count. The first scenario error (lowest index) is rethrown after all
+/// cells finish.
+std::vector<ScenarioReport> run_scenarios(const std::vector<Scenario>& scenarios,
+                                          int jobs = 0);
 
 /// Cross product sweep over a base scenario. Empty axis = keep the base
 /// value. Report names are "<base.name>/<system>/n<group>/s<seed>".
@@ -55,7 +89,17 @@ struct SweepSpec {
     std::vector<SystemKind> systems;
     std::vector<int> group_sizes;
     std::vector<std::uint64_t> seeds;
+    /// Worker threads for the cell cross-product (0 = hardware concurrency).
+    /// The report is byte-identical for every value.
+    int jobs{0};
 };
+
+/// Deterministic per-cell RNG seed: a splitmix64 hash of (axis seed, system,
+/// group size), so every sweep cell draws an independent random stream no
+/// matter which worker executes it or in what order. Deliberately NOT a
+/// function of the seed's position in `seeds`: a failing cell reproduces
+/// exactly when the sweep is narrowed to that one seed.
+std::uint64_t derive_cell_seed(std::uint64_t axis_seed, SystemKind system, int group_size);
 
 std::vector<ScenarioReport> run_sweep(const SweepSpec& spec);
 

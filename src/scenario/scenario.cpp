@@ -4,15 +4,6 @@
 
 namespace failsig::scenario {
 
-const char* name_of(SystemKind system) {
-    switch (system) {
-        case SystemKind::kNewTop: return "NewTOP";
-        case SystemKind::kFsNewTop: return "FS-NewTOP";
-        case SystemKind::kPbft: return "PBFT";
-    }
-    return "?";
-}
-
 ScenarioEvent ScenarioEvent::crash(TimePoint at, int member) {
     ScenarioEvent e;
     e.kind = Kind::kCrashMember;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "deploy/deployment.hpp"
 #include "fs/fault.hpp"
 #include "fs/fso.hpp"
 #include "fsnewtop/deployment.hpp"
@@ -23,10 +24,10 @@
 
 namespace failsig::scenario {
 
-/// Which of the three deployments the scenario drives.
-enum class SystemKind : std::uint8_t { kNewTop = 0, kFsNewTop = 1, kPbft = 2 };
-
-const char* name_of(SystemKind system);
+/// Which deployment the scenario drives (see deploy/deployment.hpp — the
+/// engine is keyed on this through the deployment registry).
+using deploy::SystemKind;
+using deploy::name_of;
 
 /// Which node of a fail-signal pair a fault plan targets (FS-NewTOP only).
 enum class PairNode : std::uint8_t { kLeader, kFollower };

@@ -6,29 +6,43 @@ namespace failsig::sim {
 
 Simulation::EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
     const EventId id = next_id_++;
-    queue_.push(Event{std::max(at, now_), id});
+    heap_.push_back(Event{std::max(at, now_), id});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     handlers_.emplace(id, std::move(fn));
     return id;
 }
 
 bool Simulation::cancel(EventId id) {
-    const auto it = handlers_.find(id);
-    if (it == handlers_.end()) return false;
-    handlers_.erase(it);
-    cancelled_.insert(id);
+    if (handlers_.erase(id) == 0) return false;
+    ++cancelled_in_heap_;
+    maybe_compact();
     return true;
 }
 
+void Simulation::maybe_compact() {
+    // Rebuild once dead entries dominate: O(live) and amortized O(1) per
+    // cancel, so a campaign cancelling millions of timeouts keeps the heap
+    // proportional to the live events, not to cancellation history.
+    if (cancelled_in_heap_ < 64 || cancelled_in_heap_ * 2 < heap_.size()) return;
+    std::erase_if(heap_, [this](const Event& event) { return !is_live(event); });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    cancelled_in_heap_ = 0;
+}
+
+void Simulation::pop_event() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+}
+
 bool Simulation::step() {
-    while (!queue_.empty()) {
-        const Event ev = queue_.top();
-        queue_.pop();
-        const auto cancelled_it = cancelled_.find(ev.id);
-        if (cancelled_it != cancelled_.end()) {
-            cancelled_.erase(cancelled_it);
+    while (!heap_.empty()) {
+        const Event ev = heap_.front();
+        pop_event();
+        if (!is_live(ev)) {
+            --cancelled_in_heap_;
             continue;
         }
-        auto handler_it = handlers_.find(ev.id);
+        const auto handler_it = handlers_.find(ev.id);
         EventFn fn = std::move(handler_it->second);
         handlers_.erase(handler_it);
         now_ = ev.at;
@@ -47,11 +61,11 @@ std::size_t Simulation::run(std::size_t max_events) {
 
 std::size_t Simulation::run_until(TimePoint until) {
     std::size_t fired = 0;
-    while (!queue_.empty()) {
-        const Event ev = queue_.top();
-        if (cancelled_.contains(ev.id)) {
-            queue_.pop();
-            cancelled_.erase(ev.id);
+    while (!heap_.empty()) {
+        const Event ev = heap_.front();
+        if (!is_live(ev)) {
+            pop_event();
+            --cancelled_in_heap_;
             continue;
         }
         if (ev.at > until) break;

@@ -8,9 +8,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -36,7 +34,10 @@ public:
         return schedule_at(now_ + delay, std::move(fn));
     }
 
-    /// Cancels a pending event. Returns false if it already fired or is unknown.
+    /// Cancels a pending event. Returns false if it already fired or is
+    /// unknown. The handler closure is destroyed eagerly, and the heap slot
+    /// is reclaimed (amortized) by compaction — long campaigns that cancel
+    /// many timeouts do not accrete dead state until timestamps pop.
     bool cancel(EventId id);
 
     /// Runs the next event; returns false when the queue is empty.
@@ -49,9 +50,14 @@ public:
     /// `until`. Returns events fired.
     std::size_t run_until(TimePoint until);
 
-    [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
-    [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+    [[nodiscard]] bool empty() const { return handlers_.empty(); }
+    [[nodiscard]] std::size_t pending() const { return handlers_.size(); }
     [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+    /// Heap slots currently allocated, live + not-yet-reclaimed cancelled
+    /// (diagnostic; compaction bounds this by roughly
+    /// max(64 + pending(), 2 * pending()) — below 64 dead entries it does
+    /// not bother rebuilding).
+    [[nodiscard]] std::size_t queue_footprint() const { return heap_.size(); }
 
 private:
     struct Event {
@@ -64,12 +70,23 @@ private:
         }
     };
 
+    /// An event is live iff its handler is still registered; cancel()
+    /// removes the handler and pops/compaction drop the heap entry.
+    [[nodiscard]] bool is_live(const Event& event) const {
+        return handlers_.contains(event.id);
+    }
+    void maybe_compact();
+    void pop_event();
+
     TimePoint now_{0};
     EventId next_id_{1};
     std::uint64_t events_fired_{0};
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    // Min-heap over `Event::operator>` maintained with std::*_heap so
+    // compaction can filter dead entries in place (std::priority_queue
+    // cannot).
+    std::vector<Event> heap_;
     std::unordered_map<EventId, EventFn> handlers_;
-    std::unordered_set<EventId> cancelled_;
+    std::size_t cancelled_in_heap_{0};
 };
 
 }  // namespace failsig::sim

@@ -1,0 +1,248 @@
+// Deployment-conformance suite: every protocol stack behind the
+// deploy::Deployment interface must honour the same contract — observers
+// attach and fire, submissions are delivered with total-order agreement,
+// crashes silence the crashed member without stopping the healthy ones, and
+// capability-gated hooks report their absence instead of misbehaving. The
+// suite runs instantiated over all three registered systems, exactly the
+// guarantee the scenario engine's single generic path relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "deploy/deployment.hpp"
+
+namespace failsig::deploy {
+namespace {
+
+using Tag = std::pair<std::uint32_t, std::uint32_t>;  // (sender, seq)
+
+Bytes tagged_payload(std::uint32_t sender, std::uint32_t seq) {
+    ByteWriter w;
+    w.u32(sender);
+    w.u32(seq);
+    return w.take();
+}
+
+Tag parse_tag(const Bytes& payload) {
+    ByteReader r(payload);
+    const auto sender = r.u32();
+    const auto seq = r.u32();
+    return {sender, seq};
+}
+
+/// Everything the observers saw, keyed by member.
+struct Observed {
+    std::vector<std::vector<Tag>> delivered;
+    int views{0};
+    int fail_signals{0};
+    int middleware_failures{0};
+
+    explicit Observed(int n) : delivered(static_cast<std::size_t>(n)) {}
+
+    [[nodiscard]] bool member_got(int member, Tag tag) const {
+        const auto& log = delivered[static_cast<std::size_t>(member)];
+        return std::find(log.begin(), log.end(), tag) != log.end();
+    }
+};
+
+Observers observers_into(Observed& seen) {
+    Observers obs;
+    obs.delivered = [&seen](int member, const Bytes& payload) {
+        seen.delivered[static_cast<std::size_t>(member)].push_back(parse_tag(payload));
+    };
+    obs.view_installed = [&seen](int, const newtop::GroupView&) { ++seen.views; };
+    obs.fail_signal = [&seen](int, const std::string&, const std::string&) {
+        ++seen.fail_signals;
+    };
+    obs.middleware_failure = [&seen](int, const std::string&) { ++seen.middleware_failures; };
+    return obs;
+}
+
+/// A spec each system can run a crash campaign under: NewTOP needs live
+/// suspectors to exclude a silent member, FS-NewTOP needs the dedicated-node
+/// placement to express host-level faults, PBFT needs 3f+1 replicas.
+DeploymentSpec spec_for(SystemKind kind, bool crash_ready) {
+    DeploymentSpec spec;
+    spec.group_size = kind == SystemKind::kPbft ? 4 : 3;
+    spec.seed = 21;
+    spec.threads_per_node = 2;
+    if (crash_ready) {
+        if (kind == SystemKind::kNewTop) {
+            spec.start_suspectors = true;
+            spec.suspector.ping_interval = 50 * kMillisecond;
+            spec.suspector.suspect_timeout = 300 * kMillisecond;
+        }
+        if (kind == SystemKind::kFsNewTop) spec.placement = fsnewtop::Placement::kFull;
+    }
+    return spec;
+}
+
+/// Schedules `msgs` staggered submissions from every member (the benches'
+/// injection pattern) starting at `from`.
+void schedule_workload(Deployment& d, TimePoint from, int msgs, std::uint32_t first_seq) {
+    const int n = d.group_size();
+    const Duration interval = 80 * kMillisecond;
+    for (int k = 0; k < msgs; ++k) {
+        for (int i = 0; i < n; ++i) {
+            const TimePoint at = from + static_cast<TimePoint>(k) * interval +
+                                 (static_cast<TimePoint>(i) * interval) / n;
+            const std::uint32_t seq = first_seq + static_cast<std::uint32_t>(k);
+            d.sim().schedule_at(at, [&d, i, seq] {
+                d.submit(i, tagged_payload(static_cast<std::uint32_t>(i), seq));
+            });
+        }
+    }
+}
+
+/// Runs to quiescence when the stack has none of its own perpetual activity,
+/// else to a deadline with a settle window — same shape as the engine.
+void drive(Deployment& d, TimePoint deadline) {
+    d.sim().run_until(deadline);
+    d.stop_perpetual();
+    d.sim().run_until(deadline + 30 * kSecond);
+}
+
+class DeploymentConformance : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(DeploymentConformance, FactoryBuildsAndExposesTopology) {
+    const DeploymentSpec spec = spec_for(GetParam(), false);
+    const auto d = make_deployment(GetParam(), spec);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->group_size(), spec.group_size);
+    for (int i = 0; i < d->group_size(); ++i) {
+        EXPECT_FALSE(d->nodes_of(i).empty()) << "member " << i;
+    }
+    // The owning simulation and network are reachable through the interface.
+    EXPECT_EQ(d->sim().now(), 0);
+    EXPECT_EQ(d->network().messages_sent(), 0u);
+}
+
+TEST_P(DeploymentConformance, FactoryEnforcesTheSystemsGroupSizeFloor) {
+    const SystemTraits traits = traits_of(GetParam());
+    EXPECT_GE(traits.min_group_size, 1);
+    if (traits.min_group_size > 1) {
+        DeploymentSpec spec = spec_for(GetParam(), false);
+        spec.group_size = traits.min_group_size - 1;
+        EXPECT_THROW(make_deployment(GetParam(), spec), std::logic_error);
+    }
+}
+
+TEST_P(DeploymentConformance, DeliveryAccountingIsCompleteAndTotallyOrdered) {
+    const DeploymentSpec spec = spec_for(GetParam(), false);
+    const auto d = make_deployment(GetParam(), spec);
+    Observed seen(d->group_size());
+    d->attach(observers_into(seen));
+
+    const int msgs = 4;
+    schedule_workload(*d, 0, msgs, 0);
+    d->sim().run();
+
+    const auto expected =
+        static_cast<std::size_t>(msgs) * static_cast<std::size_t>(d->group_size());
+    for (int i = 0; i < d->group_size(); ++i) {
+        EXPECT_EQ(seen.delivered[static_cast<std::size_t>(i)].size(), expected)
+            << name_of(GetParam()) << " member " << i;
+        // All three stacks provide total order: every member sees the same
+        // delivery sequence.
+        EXPECT_EQ(seen.delivered[static_cast<std::size_t>(i)], seen.delivered[0])
+            << name_of(GetParam()) << " member " << i;
+    }
+    EXPECT_EQ(seen.fail_signals, 0);
+    EXPECT_EQ(seen.middleware_failures, 0);
+    EXPECT_GT(d->network().messages_sent(), 0u);
+}
+
+TEST_P(DeploymentConformance, IdenticalSpecsProduceIdenticalDeliverySequences) {
+    const DeploymentSpec spec = spec_for(GetParam(), false);
+    std::vector<std::vector<Tag>> logs[2];
+    for (auto& log : logs) {
+        const auto d = make_deployment(GetParam(), spec);
+        Observed seen(d->group_size());
+        d->attach(observers_into(seen));
+        schedule_workload(*d, 0, 3, 0);
+        d->sim().run();
+        log = seen.delivered;
+    }
+    EXPECT_EQ(logs[0], logs[1]) << name_of(GetParam());
+}
+
+TEST_P(DeploymentConformance, CrashSilencesTheMemberWithoutStoppingTheGroup) {
+    const SystemKind kind = GetParam();
+    const auto d = make_deployment(kind, spec_for(kind, true));
+    Observed seen(d->group_size());
+    d->attach(observers_into(seen));
+
+    const int victim = d->group_size() - 1;
+    // One pre-crash message from everyone, then the crash, then two
+    // post-crash messages from member 0.
+    schedule_workload(*d, 0, 1, 0);
+    d->sim().schedule_at(400 * kMillisecond, [&d, victim] { d->crash(victim); });
+    for (std::uint32_t k = 0; k < 2; ++k) {
+        d->sim().schedule_at(2 * kSecond + k * (80 * kMillisecond), [&d, k] {
+            d->submit(0, tagged_payload(0, 1 + k));
+        });
+    }
+    drive(*d, 8 * kSecond);
+
+    for (int i = 0; i < d->group_size(); ++i) {
+        if (i == victim) continue;
+        EXPECT_TRUE(seen.member_got(i, {0, 1}) && seen.member_got(i, {0, 2}))
+            << name_of(kind) << ": healthy member " << i
+            << " must keep delivering after the crash";
+    }
+    EXPECT_FALSE(seen.member_got(victim, {0, 1}) || seen.member_got(victim, {0, 2}))
+        << name_of(kind) << ": the crashed member must not deliver post-crash messages";
+
+    // Stacks with membership views must have reconfigured; the fail-signal
+    // stack must have announced the failure instead of timing it out.
+    if (kind != SystemKind::kPbft) {
+        EXPECT_GT(seen.views, 0) << name_of(kind);
+    }
+    if (kind == SystemKind::kFsNewTop) {
+        EXPECT_GT(seen.fail_signals + seen.middleware_failures, 0);
+    }
+}
+
+TEST_P(DeploymentConformance, CapabilityHooksReportTheirAbsenceInsteadOfActing) {
+    const SystemKind kind = GetParam();
+    const auto d = make_deployment(kind, spec_for(kind, false));
+
+    FaultInjection fault;
+    fault.member = 0;
+    fault.at_leader = false;
+    fault.plan.corrupt_outputs = true;
+    EXPECT_EQ(d->inject_fault(fault), kind == SystemKind::kFsNewTop);
+
+    EXPECT_EQ(d->fire_timeouts(), kind == SystemKind::kPbft);
+
+    // Host faults: expressible everywhere except FS-NewTOP's collocated
+    // placement, where a host is shared between two pairs.
+    const bool collocated_fs = kind == SystemKind::kFsNewTop;
+    EXPECT_EQ(d->supports_host_faults(), !collocated_fs);
+    if (kind == SystemKind::kFsNewTop) {
+        DeploymentSpec full = spec_for(kind, false);
+        full.placement = fsnewtop::Placement::kFull;
+        EXPECT_TRUE(make_deployment(kind, full)->supports_host_faults());
+    }
+
+    // stop_perpetual must be callable on every stack, running or not.
+    d->stop_perpetual();
+}
+
+std::string system_test_name(const ::testing::TestParamInfo<SystemKind>& info) {
+    std::string name = name_of(info.param);
+    std::erase(name, '-');
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, DeploymentConformance,
+                         ::testing::Values(SystemKind::kNewTop, SystemKind::kFsNewTop,
+                                           SystemKind::kPbft),
+                         system_test_name);
+
+}  // namespace
+}  // namespace failsig::deploy

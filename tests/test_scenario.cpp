@@ -214,7 +214,7 @@ TEST(ScenarioEngine, BurstInjectsExtraTaggedMessages) {
 
 // --- sweeps and reports --------------------------------------------------------
 
-TEST(ScenarioEngine, SweepCrossesAxesAndSkipsUndersizedPbft) {
+TEST(ScenarioEngine, SweepCrossesAxesAndRecordsUndersizedPbftAsSkipped) {
     SweepSpec spec;
     spec.base = fault_free(SystemKind::kNewTop, 3);
     spec.base.name = "sweep";
@@ -223,11 +223,144 @@ TEST(ScenarioEngine, SweepCrossesAxesAndSkipsUndersizedPbft) {
     spec.group_sizes = {2, 4};
     spec.seeds = {1, 2};
     const auto reports = run_sweep(spec);
-    // 3 systems x 2 sizes x 2 seeds, minus PBFT at n=2 (3f+1 floor): 10.
-    ASSERT_EQ(reports.size(), 10u);
+    // The full 3 systems x 2 sizes x 2 seeds cross product is reported;
+    // PBFT at n=2 (below the 3f+1 floor) appears as explicit skipped rows,
+    // not holes.
+    ASSERT_EQ(reports.size(), 12u);
     EXPECT_EQ(reports.front().scenario.name, "sweep/NewTOP/n2/s1");
+    std::size_t skipped = 0;
     for (const auto& report : reports) {
-        EXPECT_TRUE(report.all_invariants_passed()) << report.scenario.name;
+        if (report.skipped) {
+            ++skipped;
+            EXPECT_EQ(report.scenario.system, SystemKind::kPbft);
+            EXPECT_LT(report.scenario.group_size, 4);
+            EXPECT_FALSE(report.skip_reason.empty());
+            EXPECT_EQ(report.trace.size(), 0u);
+            EXPECT_EQ(report.metrics.messages_sent, 0u);
+        } else {
+            EXPECT_GT(report.trace.size(), 0u) << report.scenario.name;
+            EXPECT_TRUE(report.all_invariants_passed()) << report.scenario.name;
+        }
+    }
+    EXPECT_EQ(skipped, 2u);
+
+    // Every cell records its sweep coordinates: the seeds-axis value (the
+    // RNG seed itself is the per-cell derived hash) and the axis index.
+    for (const auto& report : reports) {
+        EXPECT_TRUE(report.from_sweep);
+        EXPECT_TRUE(report.seed_axis == 1 || report.seed_axis == 2) << report.scenario.name;
+        EXPECT_EQ(report.scenario.seed,
+                  derive_cell_seed(report.seed_axis, report.scenario.system,
+                                   report.scenario.group_size))
+            << report.scenario.name;
+    }
+
+    // Skipped rows carry their reason into both report renderings, and the
+    // sweep coordinates appear as structured fields.
+    const std::string json = to_json(reports);
+    EXPECT_NE(json.find("\"status\":\"skipped\""), std::string::npos);
+    EXPECT_NE(json.find("\"skip_reason\":"), std::string::npos);
+    EXPECT_NE(json.find("\"seed_axis\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"seed_index\":1"), std::string::npos);
+    const std::string csv = to_csv(reports);
+    EXPECT_NE(csv.find(",skipped("), std::string::npos);
+    EXPECT_NE(csv.find("seed_axis,seed_index"), std::string::npos);
+    // Cells whose checkers never ran must not claim a pass verdict.
+    EXPECT_NE(csv.find(",n/a,skipped("), std::string::npos);
+    EXPECT_EQ(json.find("\"all_invariants_passed\":true,\"trace_events\":0"),
+              std::string::npos);
+}
+
+TEST(ScenarioEngine, SweepRecordsCapabilityRejectedCellsAsSkipped) {
+    // A host-level crash cannot be expressed on FS-NewTOP's collocated
+    // placement; in a sweep that cell becomes a skipped row carrying the
+    // rejection message rather than an exception that discards every other
+    // cell's result.
+    SweepSpec spec;
+    spec.base = fault_free(SystemKind::kNewTop, 3);
+    spec.base.name = "cap";
+    spec.base.workload.msgs_per_member = 2;
+    spec.base.start_suspectors = true;
+    spec.base.suspector.ping_interval = 50 * kMillisecond;
+    spec.base.suspector.suspect_timeout = 300 * kMillisecond;
+    spec.base.timeline.push_back(ScenarioEvent::crash(300 * kMillisecond, 1));
+    spec.base.deadline = 4 * kSecond;
+    spec.systems = {SystemKind::kNewTop, SystemKind::kFsNewTop};
+    const auto reports = run_sweep(spec);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_FALSE(reports[0].skipped) << "NewTOP can express host crashes";
+    EXPECT_TRUE(reports[1].skipped);
+    EXPECT_NE(reports[1].skip_reason.find("Placement::kFull"), std::string::npos)
+        << reports[1].skip_reason;
+}
+
+TEST(ScenarioEngine, SweepReportIsByteIdenticalForAnyJobCount) {
+    SweepSpec spec;
+    spec.base = fault_free(SystemKind::kNewTop, 3);
+    spec.base.name = "par";
+    spec.base.workload.msgs_per_member = 3;
+    spec.systems = {SystemKind::kNewTop, SystemKind::kFsNewTop, SystemKind::kPbft};
+    spec.group_sizes = {2, 3, 4};
+    spec.seeds = {1, 2, 3};
+
+    spec.jobs = 1;
+    const auto serial = run_sweep(spec);
+    spec.jobs = 4;
+    const auto parallel = run_sweep(spec);
+
+    ASSERT_EQ(serial.size(), 27u);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(to_json(serial), to_json(parallel));
+    EXPECT_EQ(to_csv(serial), to_csv(parallel));
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].trace.canonical(), parallel[i].trace.canonical())
+            << serial[i].scenario.name;
+    }
+}
+
+TEST(ScenarioEngine, CellSeedsAreDerivedPerCoordinate) {
+    // No two sweep cells share an RNG stream: the cell seed mixes the seed
+    // axis value with (system, group size). The position of the seed in the
+    // seeds list is deliberately NOT mixed in, so narrowing a sweep to one
+    // seed reproduces that cell exactly.
+    const auto a = derive_cell_seed(1, SystemKind::kNewTop, 3);
+    EXPECT_NE(a, derive_cell_seed(1, SystemKind::kFsNewTop, 3));
+    EXPECT_NE(a, derive_cell_seed(1, SystemKind::kNewTop, 4));
+    EXPECT_NE(a, derive_cell_seed(2, SystemKind::kNewTop, 3));
+    EXPECT_EQ(a, derive_cell_seed(1, SystemKind::kNewTop, 3));
+}
+
+TEST(ScenarioEngine, NarrowingASweepToOneSeedReproducesTheCell) {
+    SweepSpec full;
+    full.base = fault_free(SystemKind::kFsNewTop, 3);
+    full.base.name = "narrow";
+    full.base.workload.msgs_per_member = 3;
+    full.seeds = {5, 6, 7};
+    const auto all = run_sweep(full);
+    ASSERT_EQ(all.size(), 3u);
+
+    SweepSpec narrowed = full;
+    narrowed.seeds = {7};
+    const auto one = run_sweep(narrowed);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].trace.canonical(), all[2].trace.canonical())
+        << "a cell must not depend on its seed's position in the sweep";
+}
+
+TEST(ScenarioEngine, RunScenariosPreservesInputOrderAcrossJobCounts) {
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < 6; ++i) {
+        Scenario s = fault_free(SystemKind::kFsNewTop, 3, 100 + static_cast<std::uint64_t>(i));
+        s.name = "batch/" + std::to_string(i);
+        s.workload.msgs_per_member = 2 + i;
+        scenarios.push_back(s);
+    }
+    const auto serial = run_scenarios(scenarios, 1);
+    const auto parallel = run_scenarios(scenarios, 4);
+    ASSERT_EQ(serial.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        EXPECT_EQ(serial[i].scenario.name, scenarios[i].name);
+        EXPECT_EQ(serial[i].trace.canonical(), parallel[i].trace.canonical());
     }
 }
 
@@ -251,8 +384,9 @@ TEST(ScenarioEngine, JsonEscapingHandlesControlCharacters) {
 
 TEST(ScenarioCli, ParsesAllKnobs) {
     const char* argv[] = {"prog", "--groups", "2,4,8", "--messages", "30",
-                          "--payload", "128", "--seed", "99", "--out", "r.json"};
-    const auto cli = parse_cli(11, const_cast<char**>(argv));
+                          "--payload", "128", "--seed", "99", "--jobs", "4",
+                          "--out", "r.json"};
+    const auto cli = parse_cli(13, const_cast<char**>(argv));
     EXPECT_FALSE(cli.help);
     EXPECT_FALSE(cli.error);
     EXPECT_EQ(cli.group_sizes, (std::vector<int>{2, 4, 8}));
@@ -260,6 +394,7 @@ TEST(ScenarioCli, ParsesAllKnobs) {
     EXPECT_EQ(cli.payload_size, 128u);
     EXPECT_TRUE(cli.seed_set);
     EXPECT_EQ(cli.seed, 99u);
+    EXPECT_EQ(cli.jobs, 4);
     EXPECT_EQ(cli.out_path, "r.json");
 }
 
@@ -273,6 +408,16 @@ TEST(ScenarioCli, RejectsBadValues) {
     EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv3)).error);
     const char* argv4[] = {"prog", "--messages", "30q"};
     EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv4)).error);
+    const char* argv5[] = {"prog", "--jobs", "0"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv5)).error);
+    // Negative values must not wrap through strtoull into huge sizes.
+    const char* argv6[] = {"prog", "--payload", "-1"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv6)).error);
+    const char* argv7[] = {"prog", "--seed", "-1"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv7)).error);
+    // Absurd payloads are an out-of-memory, not a sweep; reject past 16 MiB.
+    const char* argv8[] = {"prog", "--payload", "999999999999999"};
+    EXPECT_TRUE(parse_cli(3, const_cast<char**>(argv8)).error);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulator and the thread-pool CPU model.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/cost_model.hpp"
@@ -94,6 +95,56 @@ TEST(Simulation, EmptyAndPendingTrackCancellations) {
     EXPECT_EQ(sim.pending(), 1u);
     sim.cancel(id);
     EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, CancelReleasesTheHandlerEagerly) {
+    // The cancelled closure must be destroyed at cancel() time, not when its
+    // timestamp pops — long campaigns cancel thousands of timeouts whose
+    // deadlines lie far in the future.
+    Simulation sim;
+    auto alive = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = alive;
+    const auto id = sim.schedule_at(1'000'000'000, [keep = std::move(alive)] { (void)*keep; });
+    EXPECT_FALSE(watch.expired());
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_TRUE(watch.expired()) << "cancel must destroy the handler immediately";
+    EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulation, MassCancellationCompactsTheQueue) {
+    // A campaign that cancels many far-future timeouts must not accrete dead
+    // queue slots until their timestamps pop.
+    Simulation sim;
+    std::vector<Simulation::EventId> ids;
+    for (int i = 0; i < 10'000; ++i) {
+        ids.push_back(sim.schedule_at(1'000'000 + i, [] {}));
+    }
+    int live_fired = 0;
+    sim.schedule_at(2'000'000, [&] { ++live_fired; });
+    for (const auto id : ids) EXPECT_TRUE(sim.cancel(id));
+
+    EXPECT_EQ(sim.pending(), 1u);
+    EXPECT_LE(sim.queue_footprint(), 128u)
+        << "compaction must reclaim cancelled slots, not wait for their timestamps";
+    sim.run();
+    EXPECT_EQ(live_fired, 1);
+    EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, InterleavedCancelAndFireStaysConsistent) {
+    Simulation sim;
+    std::vector<int> fired;
+    std::vector<Simulation::EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+        ids.push_back(sim.schedule_at(i, [&fired, i] { fired.push_back(i); }));
+    }
+    for (int i = 0; i < 200; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run();
+    ASSERT_EQ(fired.size(), 100u);
+    for (std::size_t k = 0; k < fired.size(); ++k) {
+        EXPECT_EQ(fired[k], static_cast<int>(2 * k + 1));
+    }
+    EXPECT_FALSE(sim.cancel(ids[1]));  // already fired
 }
 
 TEST(ThreadPool, SingleWorkerSerializesTasks) {
