@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_orders.dir/examples/b2b_orders.cpp.o"
+  "CMakeFiles/b2b_orders.dir/examples/b2b_orders.cpp.o.d"
+  "b2b_orders"
+  "b2b_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

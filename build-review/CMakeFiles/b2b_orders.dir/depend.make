@@ -1,0 +1,2 @@
+# Empty dependencies file for b2b_orders.
+# This may be replaced when dependencies are built.

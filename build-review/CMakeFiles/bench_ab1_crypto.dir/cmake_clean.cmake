@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab1_crypto.dir/bench/bench_ab1_crypto.cpp.o"
+  "CMakeFiles/bench_ab1_crypto.dir/bench/bench_ab1_crypto.cpp.o.d"
+  "bench_ab1_crypto"
+  "bench_ab1_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab1_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab2_threadpool.dir/bench/bench_ab2_threadpool.cpp.o"
+  "CMakeFiles/bench_ab2_threadpool.dir/bench/bench_ab2_threadpool.cpp.o.d"
+  "bench_ab2_threadpool"
+  "bench_ab2_threadpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab2_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

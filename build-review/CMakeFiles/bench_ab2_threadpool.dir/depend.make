@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab2_threadpool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab3_symmetric_vs_asymmetric.dir/bench/bench_ab3_symmetric_vs_asymmetric.cpp.o"
+  "CMakeFiles/bench_ab3_symmetric_vs_asymmetric.dir/bench/bench_ab3_symmetric_vs_asymmetric.cpp.o.d"
+  "bench_ab3_symmetric_vs_asymmetric"
+  "bench_ab3_symmetric_vs_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab3_symmetric_vs_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

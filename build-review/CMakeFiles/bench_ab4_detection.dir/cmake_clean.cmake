@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab4_detection.dir/bench/bench_ab4_detection.cpp.o"
+  "CMakeFiles/bench_ab4_detection.dir/bench/bench_ab4_detection.cpp.o.d"
+  "bench_ab4_detection"
+  "bench_ab4_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab4_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

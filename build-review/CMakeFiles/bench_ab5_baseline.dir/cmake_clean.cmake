@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab5_baseline.dir/bench/bench_ab5_baseline.cpp.o"
+  "CMakeFiles/bench_ab5_baseline.dir/bench/bench_ab5_baseline.cpp.o.d"
+  "bench_ab5_baseline"
+  "bench_ab5_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab5_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_msgsize.dir/bench/bench_fig8_msgsize.cpp.o"
+  "CMakeFiles/bench_fig8_msgsize.dir/bench/bench_fig8_msgsize.cpp.o.d"
+  "bench_fig8_msgsize"
+  "bench_fig8_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/deployment.cpp" "CMakeFiles/failsig.dir/src/baseline/deployment.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/baseline/deployment.cpp.o.d"
+  "/root/repo/src/baseline/pbft.cpp" "CMakeFiles/failsig.dir/src/baseline/pbft.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/baseline/pbft.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "CMakeFiles/failsig.dir/src/common/bytes.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/failsig.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/failsig.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/crypto/biguint.cpp" "CMakeFiles/failsig.dir/src/crypto/biguint.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/biguint.cpp.o.d"
+  "/root/repo/src/crypto/envelope.cpp" "CMakeFiles/failsig.dir/src/crypto/envelope.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/envelope.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/failsig.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "CMakeFiles/failsig.dir/src/crypto/keys.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/keys.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "CMakeFiles/failsig.dir/src/crypto/md5.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/md5.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "CMakeFiles/failsig.dir/src/crypto/rsa.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/failsig.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/deploy/deployment.cpp" "CMakeFiles/failsig.dir/src/deploy/deployment.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/deploy/deployment.cpp.o.d"
+  "/root/repo/src/deploy/fsnewtop.cpp" "CMakeFiles/failsig.dir/src/deploy/fsnewtop.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/deploy/fsnewtop.cpp.o.d"
+  "/root/repo/src/deploy/newtop.cpp" "CMakeFiles/failsig.dir/src/deploy/newtop.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/deploy/newtop.cpp.o.d"
+  "/root/repo/src/deploy/pbft.cpp" "CMakeFiles/failsig.dir/src/deploy/pbft.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/deploy/pbft.cpp.o.d"
+  "/root/repo/src/fs/client.cpp" "CMakeFiles/failsig.dir/src/fs/client.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/fs/client.cpp.o.d"
+  "/root/repo/src/fs/fso.cpp" "CMakeFiles/failsig.dir/src/fs/fso.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/fs/fso.cpp.o.d"
+  "/root/repo/src/fs/process.cpp" "CMakeFiles/failsig.dir/src/fs/process.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/fs/process.cpp.o.d"
+  "/root/repo/src/fs/wire.cpp" "CMakeFiles/failsig.dir/src/fs/wire.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/fs/wire.cpp.o.d"
+  "/root/repo/src/fsnewtop/deployment.cpp" "CMakeFiles/failsig.dir/src/fsnewtop/deployment.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/fsnewtop/deployment.cpp.o.d"
+  "/root/repo/src/fsnewtop/fs_invocation.cpp" "CMakeFiles/failsig.dir/src/fsnewtop/fs_invocation.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/fsnewtop/fs_invocation.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/failsig.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/newtop/deployment.cpp" "CMakeFiles/failsig.dir/src/newtop/deployment.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/newtop/deployment.cpp.o.d"
+  "/root/repo/src/newtop/gc_servant.cpp" "CMakeFiles/failsig.dir/src/newtop/gc_servant.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/newtop/gc_servant.cpp.o.d"
+  "/root/repo/src/newtop/gc_service.cpp" "CMakeFiles/failsig.dir/src/newtop/gc_service.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/newtop/gc_service.cpp.o.d"
+  "/root/repo/src/newtop/invocation.cpp" "CMakeFiles/failsig.dir/src/newtop/invocation.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/newtop/invocation.cpp.o.d"
+  "/root/repo/src/newtop/suspector.cpp" "CMakeFiles/failsig.dir/src/newtop/suspector.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/newtop/suspector.cpp.o.d"
+  "/root/repo/src/newtop/wire.cpp" "CMakeFiles/failsig.dir/src/newtop/wire.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/newtop/wire.cpp.o.d"
+  "/root/repo/src/orb/any.cpp" "CMakeFiles/failsig.dir/src/orb/any.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/orb/any.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "CMakeFiles/failsig.dir/src/orb/orb.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/orb/orb.cpp.o.d"
+  "/root/repo/src/orb/request.cpp" "CMakeFiles/failsig.dir/src/orb/request.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/orb/request.cpp.o.d"
+  "/root/repo/src/scenario/cli.cpp" "CMakeFiles/failsig.dir/src/scenario/cli.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/scenario/cli.cpp.o.d"
+  "/root/repo/src/scenario/invariants.cpp" "CMakeFiles/failsig.dir/src/scenario/invariants.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/scenario/invariants.cpp.o.d"
+  "/root/repo/src/scenario/report.cpp" "CMakeFiles/failsig.dir/src/scenario/report.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/scenario/report.cpp.o.d"
+  "/root/repo/src/scenario/runner.cpp" "CMakeFiles/failsig.dir/src/scenario/runner.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/scenario/runner.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "CMakeFiles/failsig.dir/src/scenario/scenario.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/scenario/scenario.cpp.o.d"
+  "/root/repo/src/scenario/trace.cpp" "CMakeFiles/failsig.dir/src/scenario/trace.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/scenario/trace.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "CMakeFiles/failsig.dir/src/sim/simulation.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "CMakeFiles/failsig.dir/src/sim/thread_pool.cpp.o" "gcc" "CMakeFiles/failsig.dir/src/sim/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

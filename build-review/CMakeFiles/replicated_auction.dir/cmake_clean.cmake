@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_auction.dir/examples/replicated_auction.cpp.o"
+  "CMakeFiles/replicated_auction.dir/examples/replicated_auction.cpp.o.d"
+  "replicated_auction"
+  "replicated_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

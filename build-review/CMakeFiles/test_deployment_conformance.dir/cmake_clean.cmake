@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deployment_conformance.dir/tests/test_deployment_conformance.cpp.o"
+  "CMakeFiles/test_deployment_conformance.dir/tests/test_deployment_conformance.cpp.o.d"
+  "test_deployment_conformance"
+  "test_deployment_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deployment_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs.dir/tests/test_fs.cpp.o"
+  "CMakeFiles/test_fs.dir/tests/test_fs.cpp.o.d"
+  "test_fs"
+  "test_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsnewtop.dir/tests/test_fsnewtop.cpp.o"
+  "CMakeFiles/test_fsnewtop.dir/tests/test_fsnewtop.cpp.o.d"
+  "test_fsnewtop"
+  "test_fsnewtop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsnewtop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

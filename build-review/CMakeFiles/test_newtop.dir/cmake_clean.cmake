@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newtop.dir/tests/test_newtop.cpp.o"
+  "CMakeFiles/test_newtop.dir/tests/test_newtop.cpp.o.d"
+  "test_newtop"
+  "test_newtop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newtop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

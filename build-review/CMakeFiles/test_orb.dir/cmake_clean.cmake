@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orb.dir/tests/test_orb.cpp.o"
+  "CMakeFiles/test_orb.dir/tests/test_orb.cpp.o.d"
+  "test_orb"
+  "test_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build-review/test_common")
+set_tests_properties(test_common PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_crypto "/root/repo/build-review/test_crypto")
+set_tests_properties(test_crypto PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-review/test_sim")
+set_tests_properties(test_sim PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build-review/test_net")
+set_tests_properties(test_net PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_orb "/root/repo/build-review/test_orb")
+set_tests_properties(test_orb PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_fs "/root/repo/build-review/test_fs")
+set_tests_properties(test_fs PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_newtop "/root/repo/build-review/test_newtop")
+set_tests_properties(test_newtop PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_fsnewtop "/root/repo/build-review/test_fsnewtop")
+set_tests_properties(test_fsnewtop PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_baseline "/root/repo/build-review/test_baseline")
+set_tests_properties(test_baseline PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_deployment_conformance "/root/repo/build-review/test_deployment_conformance")
+set_tests_properties(test_deployment_conformance PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_scenario "/root/repo/build-review/test_scenario")
+set_tests_properties(test_scenario PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_fault_injection "/root/repo/build-review/test_fault_injection")
+set_tests_properties(test_fault_injection PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build-review/test_integration")
+set_tests_properties(test_integration PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
