@@ -1,0 +1,312 @@
+// Perf-regression harness: the recorded performance trajectory of this repo.
+//
+// Runs (a) crypto microbenches — RSA sign/verify, HMAC tags, the pairwise
+// link-MAC session authenticator, and SignedEnvelope build/verify with the
+// incremental signed-region builder and the KeyService verify memo — and
+// (b) a zero-copy message-plane microbench plus pinned sweep cells over all
+// three protocol stacks, reporting real wall-clock per cell next to the
+// SimNetwork copy counters (bytes actually materialized vs logical wire
+// bytes; body encodes per multicast).
+//
+// Output is BENCH_<PR>.json in the failsig-bench-v1 schema (documented in
+// EXPERIMENTS.md). Every later PR appends its own BENCH_*.json next to this
+// baseline so regressions are visible as a file diff in review. CI runs
+// `--smoke` on every push and fails on crash, never on timing: absolute
+// numbers are machine-dependent, the *counters* are not.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/envelope.hpp"
+#include "crypto/keys.hpp"
+#include "deploy/deployment.hpp"
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace failsig;
+
+double now_ms() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(clock::now().time_since_epoch()).count();
+}
+
+/// Runs `fn` `iters` times and returns (total_ms, ops_per_sec).
+template <typename Fn>
+std::pair<double, double> timed(int iters, Fn&& fn) {
+    const double start = now_ms();
+    for (int i = 0; i < iters; ++i) fn();
+    const double total = now_ms() - start;
+    return {total, total > 0 ? iters / (total / 1000.0) : 0.0};
+}
+
+// ---------------------------------------------------------------------------
+// Crypto microbenches
+// ---------------------------------------------------------------------------
+
+void bench_crypto(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
+    const int sign_iters = smoke ? 20 : 200;
+    const int verify_iters = smoke ? 50 : 500;
+    const int mac_iters = smoke ? 2000 : 20000;
+
+    crypto::KeyService keys(crypto::KeyService::Backend::kRsa, 512, seed);
+    keys.register_principal("A");
+    keys.register_principal("B");
+    keys.register_link("A", "B");
+
+    const Bytes msg = bytes_of("perf-regression crypto probe payload (64ish bytes) ........");
+    const Bytes sig = keys.signer("A").sign(msg);
+
+    const auto [sign_ms, sign_ops] = timed(sign_iters, [&] { (void)keys.signer("A").sign(msg); });
+    const auto [verify_ms, verify_ops_s] =
+        timed(verify_iters, [&] { (void)keys.verifier("A").verify(msg, sig); });
+
+    const std::string link = crypto::KeyService::link_principal("A", "B");
+    const Bytes mac = keys.signer(link).sign(msg);
+    const auto [mac_ms, mac_ops] = timed(mac_iters, [&] { (void)keys.signer(link).sign(msg); });
+    const auto [macv_ms, macv_ops] =
+        timed(mac_iters, [&] { (void)keys.verifier(link).verify(msg, mac); });
+
+    // Double-signed envelope: build once, then verify cold (fresh service,
+    // real RSA per signature) vs through the memo (every later hop).
+    crypto::SignedEnvelope env{msg};
+    env.add_signature(keys.signer("A"));
+    env.add_signature(keys.signer("B"));
+    const int env_iters = smoke ? 50 : 500;
+    crypto::KeyService cold(crypto::KeyService::Backend::kRsa, 512, seed);
+    cold.register_principal("A");
+    cold.register_principal("B");
+    // Same seed => same keys for A/B in registration order, so the chain
+    // verifies under `cold` too.
+    const double cold_start = now_ms();
+    const bool cold_ok = env.verify_chain(cold);
+    const double cold_ms = now_ms() - cold_start;
+    const auto [memo_ms, memo_ops] = timed(env_iters, [&] { (void)env.verify_chain(cold); });
+
+    // Long chains exercise the incremental signed-region builder (the old
+    // per-call serializer made this O(k²) in re-serialized bytes).
+    const int chain_len = 12;
+    crypto::KeyService hmac_keys(crypto::KeyService::Backend::kHmac, 512, seed);
+    for (int i = 0; i < chain_len; ++i) hmac_keys.register_principal("P" + std::to_string(i));
+    const int chain_iters = smoke ? 200 : 2000;
+    const auto [chain_ms, chain_ops] = timed(chain_iters, [&] {
+        crypto::SignedEnvelope chain{msg};
+        for (int i = 0; i < chain_len; ++i) {
+            chain.add_signature(hmac_keys.signer("P" + std::to_string(i)));
+        }
+    });
+
+    w.key("crypto");
+    w.begin_object();
+    w.field("rsa_bits", 512);
+    w.field("rsa_sign_ops_s", sign_ops);
+    w.field("rsa_verify_ops_s", verify_ops_s);
+    w.field("link_mac_tag_ops_s", mac_ops);
+    w.field("link_mac_verify_ops_s", macv_ops);
+    w.field("envelope_verify_cold_ms", cold_ms);
+    w.field("envelope_verify_cold_ok", cold_ok);
+    w.field("envelope_verify_memo_ops_s", memo_ops);
+    w.field("envelope_chain12_sign_ops_s", chain_ops);
+    w.field("keyservice_verify_ops", cold.verify_ops());
+    w.field("keyservice_verify_cache_hits", cold.verify_cache_hits());
+    w.end_object();
+    std::printf("crypto: rsa sign %.0f/s verify %.0f/s | link-MAC tag %.0f/s | "
+                "envelope memo-verify %.0f/s (real verifies: %llu, memo hits: %llu)\n",
+                sign_ops, verify_ops_s, mac_ops, memo_ops,
+                static_cast<unsigned long long>(cold.verify_ops()),
+                static_cast<unsigned long long>(cold.verify_cache_hits()));
+    (void)sign_ms;
+    (void)verify_ms;
+    (void)mac_ms;
+    (void)macv_ms;
+    (void)memo_ms;
+    (void)chain_ms;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy message-plane microbench
+// ---------------------------------------------------------------------------
+
+class CountingServant final : public orb::Servant {
+public:
+    void dispatch(const orb::Request&) override { ++count_; }
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+
+private:
+    std::uint64_t count_{0};
+};
+
+void bench_message_plane(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
+    const int receivers = smoke ? 8 : 16;
+    const int messages = smoke ? 200 : 2000;
+    const std::size_t payload_size = 1024;
+
+    sim::Simulation sim;
+    net::SimNetwork net(sim, Rng(seed));
+    orb::OrbDomain domain(sim, net, sim::CostModel{});
+
+    orb::Orb& sender = domain.create_orb(NodeId{0});
+    std::vector<CountingServant> servants(static_cast<std::size_t>(receivers));
+    std::vector<orb::ObjectRef> targets;
+    for (int i = 0; i < receivers; ++i) {
+        orb::Orb& receiver = domain.create_orb(NodeId{static_cast<std::uint32_t>(i + 1)});
+        targets.push_back(
+            receiver.activate("sink", &servants[static_cast<std::size_t>(i)]));
+    }
+
+    const double start = now_ms();
+    for (int m = 0; m < messages; ++m) {
+        sender.invoke_fanout(targets, "bench", orb::Any{Bytes(payload_size, 0x42)});
+    }
+    sim.run();
+    const double wall = now_ms() - start;
+
+    std::uint64_t dispatched = 0;
+    for (const auto& s : servants) dispatched += s.count();
+
+    const double copied_per_delivered =
+        net.messages_delivered() > 0
+            ? static_cast<double>(net.payload_bytes_copied()) /
+                  static_cast<double>(net.messages_delivered())
+            : 0.0;
+    const double bodies_per_multicast =
+        messages > 0 ? static_cast<double>(net.payload_bodies_encoded()) / messages : 0.0;
+
+    w.key("message_plane");
+    w.begin_object();
+    w.field("fanout_receivers", receivers);
+    w.field("messages", messages);
+    w.field("payload_size", static_cast<std::uint64_t>(payload_size));
+    w.field("deliveries", dispatched);
+    w.field("logical_bytes_sent", net.bytes_sent());
+    w.field("payload_bytes_copied", net.payload_bytes_copied());
+    w.field("payload_bodies_encoded", net.payload_bodies_encoded());
+    w.field("bodies_per_multicast", bodies_per_multicast);
+    w.field("copied_bytes_per_delivered_msg", copied_per_delivered);
+    w.field("wall_ms", wall);
+    w.end_object();
+    std::printf("message plane: %d msgs x %d receivers | %.2f body encodes/multicast | "
+                "%.0f copied bytes/delivered (logical %.0f) | %.0f ms\n",
+                messages, receivers, bodies_per_multicast, copied_per_delivered,
+                static_cast<double>(net.bytes_sent()) /
+                    static_cast<double>(net.messages_delivered()),
+                wall);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned sweep cells
+// ---------------------------------------------------------------------------
+
+void bench_sweep_cells(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
+    scenario::Scenario base;
+    base.name = "perf";
+    base.seed = seed;
+    base.workload.msgs_per_member = smoke ? 10 : 30;
+    base.workload.payload_size = 64;
+
+    const std::vector<scenario::SystemKind> systems = {scenario::SystemKind::kNewTop,
+                                                       scenario::SystemKind::kFsNewTop,
+                                                       scenario::SystemKind::kPbft};
+    const std::vector<int> sizes = smoke ? std::vector<int>{3, 4} : std::vector<int>{3, 4, 6};
+
+    w.begin_array("sweep_cells");
+    for (const auto system : systems) {
+        for (const int n : sizes) {
+            scenario::Scenario cell = base;
+            cell.system = system;
+            cell.group_size = n;
+            cell.seed = scenario::derive_cell_seed(seed, system, n);
+            cell.name = "perf/" + std::string(scenario::name_of(system)) + "/n" +
+                        std::to_string(n);
+
+            w.begin_object();
+            w.field("name", cell.name);
+            w.field("system", scenario::name_of(system));
+            w.field("group_size", n);
+            const auto traits = deploy::traits_of(system);
+            if (n < traits.min_group_size) {
+                w.field("status", "skipped");
+                w.end_object();
+                continue;
+            }
+            const double start = now_ms();
+            const auto report = scenario::run_scenario(cell);
+            const double wall = now_ms() - start;
+            const auto& m = report.metrics;
+            const double copied_per_delivered =
+                m.network_messages > 0
+                    ? static_cast<double>(m.payload_bytes_copied) /
+                          static_cast<double>(m.network_messages)
+                    : 0.0;
+            w.field("status", "ok");
+            w.field("throughput_msg_s", m.throughput_msg_s);
+            w.field("mean_latency_ms", m.mean_latency_ms);
+            w.field("observed_deliveries", m.observed_deliveries);
+            w.field("expected_deliveries", m.expected_deliveries);
+            w.field("network_messages", m.network_messages);
+            w.field("network_bytes", m.network_bytes);
+            w.field("payload_bytes_copied", m.payload_bytes_copied);
+            w.field("payload_bodies_encoded", m.payload_bodies_encoded);
+            w.field("copied_bytes_per_network_msg", copied_per_delivered);
+            w.field("all_invariants_passed", report.all_invariants_passed());
+            w.field("wall_ms", wall);
+            w.end_object();
+            std::printf("cell %-22s %5.1f msg/s | copied/msg %7.1f (wire %7.1f) | %.0f ms\n",
+                        cell.name.c_str(), m.throughput_msg_s, copied_per_delivered,
+                        m.network_messages > 0
+                            ? static_cast<double>(m.network_bytes) /
+                                  static_cast<double>(m.network_messages)
+                            : 0.0,
+                        wall);
+        }
+    }
+    w.end_array();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::uint64_t seed = 42;
+    std::string out_path = "BENCH_PR3.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--help") {
+            std::printf("usage: bench_perf_regression [--smoke] [--seed N] [--out PATH]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("perf-regression bench (%s mode), seed %llu\n", smoke ? "smoke" : "full",
+                static_cast<unsigned long long>(seed));
+
+    scenario::JsonWriter w;
+    w.begin_object();
+    w.field("format", "failsig-bench-v1");
+    w.field("pr", "PR3");
+    w.field("mode", smoke ? "smoke" : "full");
+    w.field("seed", seed);
+    bench_crypto(w, smoke, seed);
+    bench_message_plane(w, smoke, seed);
+    bench_sweep_cells(w, smoke, seed);
+    w.end_object();
+
+    if (!scenario::write_file(out_path, w.take() + "\n")) return 1;
+    std::printf("bench report written to %s\n", out_path.c_str());
+    return 0;
+}

@@ -25,11 +25,16 @@ void PbftServant::maybe_run() {
     queue_.pop_front();
     const Duration cost = replica_->processing_cost(operation, body);
     orb_.pool().submit(cost, [this, operation = std::move(operation), body = std::move(body)] {
-        const auto outputs = replica_->process(operation, body);
-        for (const auto& out : outputs) {
+        auto outputs = replica_->process(operation, body);
+        for (auto& out : outputs) {
+            // One fan-out invocation per logical output: the body is
+            // marshalled once and shared across all destinations.
+            std::vector<orb::ObjectRef> targets;
+            targets.reserve(out.dests.size());
             for (const auto& dest : out.dests) {
-                if (!dest.is_fs) orb_.invoke(dest.ref, out.operation, orb::Any{out.body});
+                if (!dest.is_fs) targets.push_back(dest.ref);
             }
+            orb_.invoke_fanout(targets, out.operation, orb::Any{std::move(out.body)});
         }
         busy_ = false;
         maybe_run();

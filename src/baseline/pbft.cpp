@@ -8,8 +8,11 @@ namespace failsig::baseline {
 // Codecs
 // ---------------------------------------------------------------------------
 
+std::size_t ClientRequest::wire_size() const { return 4 + 8 + 4 + payload.size(); }
+
 Bytes ClientRequest::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u32(origin);
     w.u64(origin_seq);
     w.bytes(payload);
@@ -30,8 +33,13 @@ Result<ClientRequest> ClientRequest::decode(std::span<const std::uint8_t> data) 
     }
 }
 
+std::size_t PbftMessage::wire_size() const {
+    return 1 + 4 + 8 + 8 + (4 + digest.size()) + (4 + request.wire_size());
+}
+
 Bytes PbftMessage::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(kind));
     w.u32(sender);
     w.u64(view);
@@ -63,8 +71,11 @@ Result<PbftMessage> PbftMessage::decode(std::span<const std::uint8_t> data) {
     }
 }
 
+std::size_t PbftDelivery::wire_size() const { return 8 + 4 + request.wire_size(); }
+
 Bytes PbftDelivery::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u64(seq);
     w.bytes(request.encode());
     return w.take();

@@ -40,6 +40,8 @@ struct ClientRequest {
     std::uint64_t origin_seq{0};
     Bytes payload;
 
+    /// Exact encoded size; hot encoders reserve() this up front.
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<ClientRequest> decode(std::span<const std::uint8_t> data);
     friend bool operator==(const ClientRequest&, const ClientRequest&) = default;
@@ -53,6 +55,7 @@ struct PbftMessage {
     Bytes digest;            ///< MD5 of the request (binds phases together)
     ClientRequest request;   ///< carried in pre-prepare only
 
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<PbftMessage> decode(std::span<const std::uint8_t> data);
 };
@@ -70,6 +73,7 @@ struct PbftDelivery {
     std::uint64_t seq{0};
     ClientRequest request;
 
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<PbftDelivery> decode(std::span<const std::uint8_t> data);
 };

@@ -39,6 +39,10 @@ public:
     ByteWriter() = default;
     explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
 
+    /// Preallocates for `n` total bytes — hot encoders pair this with a
+    /// wire_size() estimate so a message marshals with one allocation.
+    void reserve(std::size_t n) { buf_.reserve(n); }
+
     void u8(std::uint8_t v) { buf_.push_back(v); }
     void u16(std::uint16_t v) { put_le(v); }
     void u32(std::uint32_t v) { put_le(v); }
@@ -104,6 +108,14 @@ public:
         const auto n = u32();
         const auto part = take(n);
         return Bytes(part.begin(), part.end());
+    }
+
+    /// Zero-copy variant of bytes(): a view into the underlying buffer for
+    /// callers that do not need ownership. Valid only while the buffer the
+    /// reader was constructed over stays alive.
+    std::span<const std::uint8_t> bytes_view() {
+        const auto n = u32();
+        return take(n);
     }
 
     std::string str() {

@@ -2,19 +2,44 @@
 
 namespace failsig::crypto {
 
-Bytes SignedEnvelope::signed_region(std::size_t index) const {
-    ByteWriter w;
-    w.bytes(payload_);
-    w.u32(static_cast<std::uint32_t>(index));
-    for (std::size_t i = 0; i < index; ++i) {
-        w.str(signatures_[i].principal);
-        w.bytes(signatures_[i].signature);
+namespace {
+/// Offset of the patched u32 index field: right after bytes(payload).
+std::size_t index_offset(const Bytes& payload) { return 4 + payload.size(); }
+}  // namespace
+
+void SignedEnvelope::ensure_scratch() const {
+    if (scratch_.empty()) {
+        ByteWriter w;
+        w.reserve(index_offset(payload_) + 4);
+        w.bytes(payload_);
+        w.u32(0);  // placeholder for the region index, patched per view
+        scratch_ = w.take();
     }
-    return w.take();
+    // Append any signature blocks not yet materialized (new signatures, or
+    // an envelope freshly built by decode()).
+    while (scratch_end_.size() < signatures_.size()) {
+        const auto& block = signatures_[scratch_end_.size()];
+        ByteWriter w(std::move(scratch_));
+        w.reserve(w.size() + 8 + block.principal.size() + block.signature.size());
+        w.str(block.principal);
+        w.bytes(block.signature);
+        scratch_ = w.take();
+        scratch_end_.push_back(scratch_.size());
+    }
+}
+
+std::span<const std::uint8_t> SignedEnvelope::region_view(std::size_t index) const {
+    ensure_scratch();
+    const std::size_t pos = index_offset(payload_);
+    for (std::size_t i = 0; i < 4; ++i) {
+        scratch_[pos + i] = static_cast<std::uint8_t>(index >> (8 * i));
+    }
+    const std::size_t len = index == 0 ? pos + 4 : scratch_end_[index - 1];
+    return std::span<const std::uint8_t>(scratch_).first(len);
 }
 
 void SignedEnvelope::add_signature(const Signer& signer) {
-    const Bytes region = signed_region(signatures_.size());
+    const auto region = region_view(signatures_.size());
     signatures_.push_back(SignatureBlock{signer.principal(), signer.sign(region)});
 }
 
@@ -22,8 +47,7 @@ bool SignedEnvelope::verify_chain(const KeyService& keys) const {
     for (std::size_t i = 0; i < signatures_.size(); ++i) {
         const auto& block = signatures_[i];
         if (!keys.has_principal(block.principal)) return false;
-        const Bytes region = signed_region(i);
-        if (!keys.verifier(block.principal).verify(region, block.signature)) return false;
+        if (!keys.verify_cached(block.principal, region_view(i), block.signature)) return false;
     }
     return true;
 }
@@ -39,6 +63,11 @@ bool SignedEnvelope::is_valid_double_signed(const KeyService& keys, const std::s
 
 Bytes SignedEnvelope::encode() const {
     ByteWriter w;
+    std::size_t size = 8 + payload_.size();
+    for (const auto& block : signatures_) {
+        size += 8 + block.principal.size() + block.signature.size();
+    }
+    w.reserve(size);
     w.bytes(payload_);
     w.u32(static_cast<std::uint32_t>(signatures_.size()));
     for (const auto& block : signatures_) {

@@ -1,8 +1,10 @@
 #include "crypto/keys.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
 
 namespace failsig::crypto {
 
@@ -70,9 +72,7 @@ private:
 KeyService::KeyService(Backend backend, std::size_t rsa_bits, std::uint64_t seed)
     : backend_(backend), rsa_bits_(rsa_bits), rng_(seed) {}
 
-void KeyService::register_principal(const std::string& name) {
-    if (entries_.contains(name)) return;
-
+void KeyService::make_entry(const std::string& name) {
     Entry entry;
     if (backend_ == Backend::kRsa) {
         auto kp = rsa_generate(rsa_bits_, rng_);
@@ -84,7 +84,59 @@ void KeyService::register_principal(const std::string& name) {
         entry.signer = std::make_unique<HmacSigner>(name, key);
         entry.verifier = std::make_unique<HmacVerifier>(key);
     }
-    entries_.emplace(name, std::move(entry));
+    entries_[name] = std::move(entry);
+}
+
+void KeyService::register_principal(const std::string& name) {
+    if (entries_.contains(name)) return;
+    make_entry(name);
+}
+
+void KeyService::rotate_principal(const std::string& name) {
+    make_entry(name);
+    memo_.erase(name);
+}
+
+std::string KeyService::link_principal(const std::string& a, const std::string& b) {
+    const auto& lo = std::min(a, b);
+    const auto& hi = std::max(a, b);
+    return "link:" + lo + "|" + hi;
+}
+
+void KeyService::register_link(const std::string& a, const std::string& b) {
+    const std::string name = link_principal(a, b);
+    if (entries_.contains(name)) return;
+    // Session keys are symmetric regardless of the signing backend: the MAC
+    // trade-off only makes sense against asymmetric per-principal keys.
+    Bytes key(32);
+    for (auto& kb : key) kb = static_cast<std::uint8_t>(rng_.next());
+    Entry entry;
+    entry.signer = std::make_unique<HmacSigner>(name, key);
+    entry.verifier = std::make_unique<HmacVerifier>(key);
+    entries_[name] = std::move(entry);
+}
+
+bool KeyService::verify_cached(const std::string& name, std::span<const std::uint8_t> message,
+                               std::span<const std::uint8_t> signature) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    // Domain-separated digest of (message, signature): length prefix keeps
+    // (m, s) and (m', s') with m++s == m'++s' from colliding.
+    ByteWriter w;
+    w.reserve(12 + message.size() + signature.size());
+    w.bytes(message);
+    w.bytes(signature);
+    const std::string digest = to_hex(sha256(w.view()));
+    auto& per_principal = memo_[name];
+    const auto hit = per_principal.find(digest);
+    if (hit != per_principal.end()) {
+        ++verify_cache_hits_;
+        return hit->second;
+    }
+    ++verify_ops_;
+    const bool ok = it->second.verifier->verify(message, signature);
+    per_principal.emplace(digest, ok);
+    return ok;
 }
 
 const Signer& KeyService::signer(const std::string& name) const {

@@ -50,12 +50,38 @@ public:
     /// Creates keys for `name`; idempotent.
     void register_principal(const std::string& name);
 
+    /// Regenerates `name`'s key material (epoch change / compromise) and
+    /// drops every memoized verify verdict for the principal — a signature
+    /// that verified under the old key must be re-checked under the new one.
+    void rotate_principal(const std::string& name);
+
+    /// Registers a pairwise HMAC session key shared by exactly {a, b},
+    /// under `link_principal(a, b)` — the paper's MAC-authenticator
+    /// trade-off: point-to-point traffic that needs no third-party
+    /// verification can be authenticated at symmetric-crypto cost even when
+    /// the backend signs everything else with RSA. Idempotent.
+    void register_link(const std::string& a, const std::string& b);
+    [[nodiscard]] static std::string link_principal(const std::string& a, const std::string& b);
+
     /// Throws std::out_of_range for unknown principals.
     [[nodiscard]] const Signer& signer(const std::string& name) const;
     [[nodiscard]] const Verifier& verifier(const std::string& name) const;
     [[nodiscard]] bool has_principal(const std::string& name) const;
 
+    /// Verifies through a digest-keyed memo: a (principal, message,
+    /// signature) triple that already verified costs one hash instead of a
+    /// public-key operation. This is what makes relaying a double-signed
+    /// envelope O(1) RSA verifies per (principal, digest) across all hops.
+    [[nodiscard]] bool verify_cached(const std::string& name,
+                                     std::span<const std::uint8_t> message,
+                                     std::span<const std::uint8_t> signature) const;
+
     [[nodiscard]] Backend backend() const { return backend_; }
+
+    /// Real verifier invocations (memo misses) and memo hits, for the
+    /// perf-regression bench.
+    [[nodiscard]] std::uint64_t verify_ops() const { return verify_ops_; }
+    [[nodiscard]] std::uint64_t verify_cache_hits() const { return verify_cache_hits_; }
 
 private:
     struct Entry {
@@ -63,10 +89,16 @@ private:
         std::unique_ptr<Verifier> verifier;
     };
 
+    void make_entry(const std::string& name);
+
     Backend backend_;
     std::size_t rsa_bits_;
     Rng rng_;
     std::unordered_map<std::string, Entry> entries_;
+    /// principal -> digest(message, signature) -> verdict.
+    mutable std::unordered_map<std::string, std::unordered_map<std::string, bool>> memo_;
+    mutable std::uint64_t verify_ops_{0};
+    mutable std::uint64_t verify_cache_hits_{0};
 };
 
 }  // namespace failsig::crypto

@@ -17,11 +17,9 @@ void FsClient::send(const std::string& fs_name, const std::string& operation, By
     input.origin_ref = self_ref_;
 
     // Unsigned envelope: clients are not FS processes. The pair dedups the
-    // two copies by uid.
+    // two copies by uid. One fan-out: both replicas share one encoded body.
     const crypto::SignedEnvelope env(input.encode());
-    const Bytes wire = env.encode();
-    orb_.invoke(info->leader, "receiveNew", orb::Any{wire});
-    orb_.invoke(info->follower, "receiveNew", orb::Any{wire});
+    orb_.invoke_fanout({info->leader, info->follower}, "receiveNew", orb::Any{env.encode()});
 }
 
 void FsClient::dispatch(const orb::Request& request) {

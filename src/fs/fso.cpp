@@ -62,12 +62,17 @@ void Fso::set_peer(Endpoint peer_pair_endpoint, const std::string& peer_principa
     peer_pair_ep_ = peer_pair_endpoint;
     peer_principal_ = peer_principal;
     prearmed_fail_ = std::move(prearmed_fail_signal);
+    if (cfg_.order_link_mac) {
+        rt_.keys.register_link(principal_, peer_principal_);
+        link_principal_ = crypto::KeyService::link_principal(principal_, peer_principal_);
+    }
     peer_set_ = true;
 }
 
 void Fso::set_fault_plan(const FaultPlan& plan) {
     fault_ = plan;
     fault_configured_ = true;
+    spontaneous_episode_reported_ = false;  // a fresh plan starts a fresh episode
     if (fault_.spontaneous_fail_signals) schedule_spontaneous_fail_signal();
 }
 
@@ -178,7 +183,7 @@ void Fso::order_input(const FsInput& input) {
     // Forward the order record to the follower over the synchronous link.
     FsOrder record{seq, input};
     crypto::SignedEnvelope env(record.encode());
-    env.add_signature(rt_.keys.signer(principal_));
+    env.add_signature(rt_.keys.signer(order_signing_principal()));
     pair_send(env);
 
     // Byzantine leader: announce one order, execute another (swap the two
@@ -204,7 +209,7 @@ void Fso::follower_receive_new(const FsInput& input) {
         if (signalling_ || ordered_uids_.contains(input.uid)) return;
         FsOrder record{0, input};  // seq 0 = "please order this"
         crypto::SignedEnvelope env(record.encode());
-        env.add_signature(rt_.keys.signer(principal_));
+        env.add_signature(rt_.keys.signer(order_signing_principal()));
         pair_send(env);
     };
 
@@ -224,7 +229,8 @@ void Fso::follower_receive_new(const FsInput& input) {
 
 void Fso::handle_order(const crypto::SignedEnvelope& env) {
     if (signalling_ || !peer_set_) return;
-    if (env.signatures().size() != 1 || env.signatures()[0].principal != peer_principal_ ||
+    if (env.signatures().size() != 1 ||
+        env.signatures()[0].principal != order_expected_principal() ||
         !env.verify_chain(rt_.keys)) {
         return;  // not authentically from the counterpart
     }
@@ -472,8 +478,7 @@ void Fso::send_fail_signal_to_fs(const std::string& fs_name) {
     const FsProcessInfo* info = rt_.directory.lookup(fs_name);
     if (info == nullptr || fs_name == name_) return;
     ++fail_signals_sent_;
-    raw_request(info->leader, "receiveNew", fail_signal_wire());
-    raw_request(info->follower, "receiveNew", fail_signal_wire());
+    fanout_raw({info->leader, info->follower}, "receiveNew", fail_signal_wire());
 }
 
 void Fso::send_fail_signal_to_ref(const orb::ObjectRef& ref) {
@@ -490,8 +495,12 @@ void Fso::schedule_spontaneous_fail_signal() {
         if (fault_configured_ && fault_.spontaneous_fail_signals && fault_active()) {
             // fs2: emit this process's fail-signal at an arbitrary instant to
             // arbitrary destinations, while the process may keep working.
-            if (fail_signal_observer_) {
-                fail_signal_observer_(name_, "spontaneous fail-signal emission (fs2)");
+            // The observer fires once per signalling episode, not per tick.
+            if (!spontaneous_episode_reported_) {
+                spontaneous_episode_reported_ = true;
+                if (fail_signal_observer_) {
+                    fail_signal_observer_(name_, "spontaneous fail-signal emission (fs2)");
+                }
             }
             for (const auto& other : rt_.directory.names()) {
                 if (other != name_) send_fail_signal_to_fs(other);
@@ -511,26 +520,60 @@ void Fso::pair_send(const crypto::SignedEnvelope& env) {
 }
 
 void Fso::raw_request(const orb::ObjectRef& target, const std::string& operation, Bytes wire) {
+    fanout_raw({target}, operation, std::move(wire));
+}
+
+void Fso::fanout_raw(const std::vector<orb::ObjectRef>& targets, const std::string& operation,
+                     Bytes wire) {
+    if (targets.empty()) return;
     orb::Request req;
-    req.object_key = target.key;
+    req.object_key = targets.front().key;
     req.operation = operation;
     req.args = orb::Any{std::move(wire)};
     req.request_id = next_raw_request_id_++;
     req.sender = pair_ep_;
-    rt_.net.send(pair_ep_, target.endpoint, req.encode());
+    const Payload body{req.encode_body()};
+    for (const auto& t : targets) {
+        rt_.net.send(pair_ep_, t.endpoint,
+                     Payload::prefixed(orb::Request::encode_key(t.key), body));
+    }
 }
 
 void Fso::transmit(const FsOutput& record, Bytes wire) {
     // One signed message, fanned out to every destination (and to both
-    // replicas of FS destinations).
+    // replicas of FS destinations). The request body is encoded once per
+    // distinct operation and shared across targets, but the send order over
+    // destinations stays exactly as declared — the network's per-link FIFO
+    // and per-message jitter draws depend on it.
+    struct SharedBody {
+        Payload body;
+        bool ready{false};
+    };
+    SharedBody fs_body, plain_body;
+    const orb::Any args{std::move(wire)};
+    const auto send_shared = [&](const orb::ObjectRef& ref, SharedBody& slot,
+                                 const std::string& operation) {
+        if (!slot.ready) {
+            orb::Request req;
+            req.object_key = ref.key;
+            req.operation = operation;
+            req.args = args;
+            req.request_id = next_raw_request_id_++;
+            req.sender = pair_ep_;
+            slot.body = Payload{req.encode_body()};
+            slot.ready = true;
+        }
+        rt_.net.send(pair_ep_, ref.endpoint,
+                     Payload::prefixed(orb::Request::encode_key(ref.key), slot.body));
+    };
     for (const auto& dest : record.dests) {
         if (dest.is_fs) {
             const FsProcessInfo* info = rt_.directory.lookup(dest.fs_name);
             if (info == nullptr) continue;
-            raw_request(info->leader, "receiveNew", wire);
-            raw_request(info->follower, "receiveNew", wire);
+            send_shared(info->leader, fs_body, "receiveNew");
+            send_shared(info->follower, fs_body, "receiveNew");
         } else {
-            raw_request(dest.ref, record.operation, wire);
+            send_shared(dest.ref, plain_body, record.operation);
         }
     }
 }

@@ -62,6 +62,15 @@ struct FsConfig {
     /// generous timeouts of the paper's experimental set-up ("the large
     /// timeouts degrade performance only when nodes do fail").
     Duration compare_slack = 50 * kMillisecond;
+    /// Opt-in MAC session authenticator for the pair link's Order records
+    /// (the paper's signature-vs-MAC cost trade-off): when set, the
+    /// leader/follower ordering stream is authenticated with a pairwise
+    /// HMAC session key instead of the sender's RSA signature. Only the
+    /// pair itself ever checks Order records, so no third-party
+    /// verifiability is lost; Compare outputs keep real signatures because
+    /// their countersigned form must convince everyone else. Off by
+    /// default — the default wire format is unchanged.
+    bool order_link_mac = false;
 };
 
 /// Shared infrastructure handed to every FS component.
@@ -91,8 +100,12 @@ public:
     /// Injects an authenticated-Byzantine fault plan into this node.
     void set_fault_plan(const FaultPlan& plan);
 
-    /// Invoked once when this wrapper object starts fail-signalling (the
-    /// scenario tracer taps this; reasons are human-readable).
+    /// Invoked once per fail-signalling *episode* (the scenario tracer taps
+    /// this; reasons are human-readable): once when this wrapper object
+    /// starts fail-signalling (fs1 — mismatch/timeout, after which the pair
+    /// exchange ceases), and once when an fs2 fault plan begins spontaneous
+    /// fail-signal emission — not once per emission tick. Downstream,
+    /// scenario metrics therefore count signalling episodes, not ticks.
     using FailSignalObserver = std::function<void(const std::string& name,
                                                   const std::string& reason)>;
     void set_fail_signal_observer(FailSignalObserver observer) {
@@ -134,6 +147,15 @@ private:
     [[nodiscard]] bool fault_active() const;
     [[nodiscard]] sim::SimThreadPool& node_pool() { return orb_.pool(); }
 
+    /// Principal that signs our outgoing Order records, and the principal we
+    /// expect on the counterpart's (the shared link principal in MAC mode).
+    [[nodiscard]] const std::string& order_signing_principal() const {
+        return (cfg_.order_link_mac && peer_set_) ? link_principal_ : principal_;
+    }
+    [[nodiscard]] const std::string& order_expected_principal() const {
+        return (cfg_.order_link_mac && peer_set_) ? link_principal_ : peer_principal_;
+    }
+
     // --- input path (Order process) --------------------------------------
     void handle_receive_new(const crypto::SignedEnvelope& env);
     void order_input(const FsInput& input);                    // leader
@@ -167,6 +189,10 @@ private:
     // --- transport helpers ----------------------------------------------------
     void pair_send(const crypto::SignedEnvelope& env);
     void raw_request(const orb::ObjectRef& target, const std::string& operation, Bytes wire);
+    /// One logical request to many targets: the body is encoded once and
+    /// shared; only the per-target object-key header is materialized.
+    void fanout_raw(const std::vector<orb::ObjectRef>& targets, const std::string& operation,
+                    Bytes wire);
     void transmit(const FsOutput& record, Bytes wire);
 
     FsRuntime& rt_;
@@ -179,6 +205,9 @@ private:
     sim::CostModel costs_;
     std::string principal_;
     std::string peer_principal_;
+    /// Pairwise session-MAC principal (order_link_mac mode); set by
+    /// set_peer(). Order records are then signed/verified under this name.
+    std::string link_principal_;
     Endpoint peer_pair_ep_{};
     bool peer_set_{false};
     crypto::SignedEnvelope prearmed_fail_;
@@ -203,6 +232,9 @@ private:
     bool fault_configured_{false};
     Rng fault_rng_;
     FailSignalObserver fail_signal_observer_;
+    /// fs2 bookkeeping: the spontaneous-emission episode has been reported
+    /// to the observer (it fires once per episode, not per emission tick).
+    bool spontaneous_episode_reported_{false};
 
     std::uint64_t next_raw_request_id_{1};
     std::uint64_t inputs_ordered_{0};

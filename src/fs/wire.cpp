@@ -25,8 +25,14 @@ Result<WireKind> peek_kind(std::span<const std::uint8_t> data) {
 
 // --- FsInput ---------------------------------------------------------------
 
+std::size_t FsInput::wire_size() const {
+    return 1 + (4 + uid.size()) + (4 + operation.size()) + (4 + body.size()) +
+           (4 + origin_fs.size()) + (4 + 4 + 4 + origin_ref.key.size());
+}
+
 Bytes FsInput::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(WireKind::kInput));
     w.str(uid);
     w.str(operation);
@@ -57,8 +63,11 @@ Result<FsInput> FsInput::decode(std::span<const std::uint8_t> data) {
 
 // --- FsOrder ---------------------------------------------------------------
 
+std::size_t FsOrder::wire_size() const { return 1 + 8 + 4 + input.wire_size(); }
+
 Bytes FsOrder::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(WireKind::kOrder));
     w.u64(seq);
     w.bytes(input.encode());
@@ -86,8 +95,17 @@ Result<FsOrder> FsOrder::decode(std::span<const std::uint8_t> data) {
 
 // --- FsOutput ----------------------------------------------------------------
 
+std::size_t FsOutput::wire_size() const {
+    std::size_t size = 1 + (4 + source_fs.size()) + 8 + 4 + 4;
+    for (const auto& d : dests) {
+        size += 1 + (4 + d.fs_name.size()) + (4 + 4 + 4 + d.ref.key.size());
+    }
+    return size + (4 + operation.size()) + (4 + body.size());
+}
+
 Bytes FsOutput::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(WireKind::kOutput));
     w.str(source_fs);
     w.u64(input_seq);

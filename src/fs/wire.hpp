@@ -41,6 +41,8 @@ struct FsInput {
     std::string origin_fs;      ///< source FS process name; empty for clients
     orb::ObjectRef origin_ref;  ///< client reply reference; empty for FS origin
 
+    /// Exact encoded size; hot encoders reserve() this up front.
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<FsInput> decode(std::span<const std::uint8_t> data);
 
@@ -51,6 +53,7 @@ struct FsOrder {
     std::uint64_t seq{0};  ///< leader-assigned order; 0 = unordered dispatch
     FsInput input;
 
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<FsOrder> decode(std::span<const std::uint8_t> data);
 };
@@ -68,6 +71,7 @@ struct FsOutput {
         return {input_seq, out_index};
     }
 
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<FsOutput> decode(std::span<const std::uint8_t> data);
 

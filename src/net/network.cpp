@@ -47,6 +47,9 @@ void SimNetwork::reset_stats() {
     messages_delivered_ = 0;
     messages_dropped_ = 0;
     bytes_sent_ = 0;
+    payload_bytes_copied_ = 0;
+    payload_bodies_encoded_ = 0;
+    seen_bodies_.clear();
 }
 
 bool SimNetwork::is_blocked(NodeId a, NodeId b) const {
@@ -92,9 +95,17 @@ Duration SimNetwork::delay_for(NodeId a, NodeId b, std::size_t size) {
     return d;
 }
 
-void SimNetwork::send(Endpoint src, Endpoint dst, Bytes payload) {
+void SimNetwork::send(Endpoint src, Endpoint dst, Payload payload) {
     ++messages_sent_;
     bytes_sent_ += payload.size();
+    // Copy accounting: the per-target header is always materialized; the
+    // body buffer counts only the first time it is seen (the fan-out loop
+    // of a multicast sends the same shared buffer consecutively).
+    payload_bytes_copied_ += payload.prefix().size();
+    if (payload.body_seq() != 0 && seen_bodies_.insert(payload.body_seq()).second) {
+        ++payload_bodies_encoded_;
+        payload_bytes_copied_ += payload.body().size();
+    }
 
     const bool is_lan = lan_pairs_.contains(ordered(src.node, dst.node));
 

@@ -12,19 +12,23 @@
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/simulation.hpp"
 
 namespace failsig::net {
 
-/// A message in flight.
+/// A message in flight. The payload is a ref-counted immutable view: all n
+/// receivers of a multicast share one body buffer (plus a tiny per-target
+/// header), so putting a message on the wire never deep-copies it.
 struct Message {
     Endpoint src;
     Endpoint dst;
-    Bytes payload;
+    Payload payload;
 };
 
 using MessageHandler = std::function<void(const Message&)>;
@@ -39,7 +43,7 @@ public:
     virtual void unbind(Endpoint endpoint) = 0;
 
     /// Sends `payload` from `src` to `dst` (fire-and-forget datagram).
-    virtual void send(Endpoint src, Endpoint dst, Bytes payload) = 0;
+    virtual void send(Endpoint src, Endpoint dst, Payload payload) = 0;
 };
 
 /// Delay parameters for the asynchronous network.
@@ -66,7 +70,7 @@ public:
 
     void bind(Endpoint endpoint, MessageHandler handler) override;
     void unbind(Endpoint endpoint) override;
-    void send(Endpoint src, Endpoint dst, Bytes payload) override;
+    void send(Endpoint src, Endpoint dst, Payload payload) override;
 
     /// Declares nodes a and b connected by a synchronous link with bound δ.
     void set_lan_pair(NodeId a, NodeId b, Duration delta);
@@ -93,6 +97,17 @@ public:
     [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
     [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
     [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+    /// Copy counters of the zero-copy plane. `bytes_sent()` counts *logical*
+    /// wire bytes; `payload_bytes_copied()` counts the bytes that were
+    /// actually materialized to carry them — per-target header bytes plus
+    /// each distinct body buffer once. A multicast of one B-byte body to n
+    /// receivers therefore adds n*B to bytes_sent but only B + n*header to
+    /// payload_bytes_copied (O(1) body encodes, the acceptance criterion).
+    [[nodiscard]] std::uint64_t payload_bytes_copied() const { return payload_bytes_copied_; }
+    /// Distinct body buffers that entered the plane (== payload encodes).
+    [[nodiscard]] std::uint64_t payload_bodies_encoded() const {
+        return payload_bodies_encoded_;
+    }
     void reset_stats();
 
 private:
@@ -132,6 +147,12 @@ private:
     std::uint64_t messages_delivered_{0};
     std::uint64_t messages_dropped_{0};
     std::uint64_t bytes_sent_{0};
+    std::uint64_t payload_bytes_copied_{0};
+    std::uint64_t payload_bodies_encoded_{0};
+    /// Process-unique sequence ids of every body buffer seen, so a shared
+    /// body counts once even when two senders' fan-out tasks interleave
+    /// their sends (robust against allocator address recycling too).
+    std::unordered_set<std::uint64_t> seen_bodies_;
 };
 
 }  // namespace failsig::net

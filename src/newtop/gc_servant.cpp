@@ -25,12 +25,17 @@ void GcServant::maybe_run() {
 
     const Duration cost = gc_->processing_cost(operation, body);
     orb_.pool().submit(cost, [this, operation = std::move(operation), body = std::move(body)] {
-        const auto outputs = gc_->process(operation, body);
-        for (const auto& out : outputs) {
+        auto outputs = gc_->process(operation, body);
+        for (auto& out : outputs) {
             // Plain deployment: every destination is a concrete object ref.
+            // One fan-out invocation per logical output: the body is
+            // marshalled once and shared across all destinations.
+            std::vector<orb::ObjectRef> targets;
+            targets.reserve(out.dests.size());
             for (const auto& dest : out.dests) {
-                if (!dest.is_fs) orb_.invoke(dest.ref, out.operation, orb::Any{out.body});
+                if (!dest.is_fs) targets.push_back(dest.ref);
             }
+            orb_.invoke_fanout(targets, out.operation, orb::Any{std::move(out.body)});
         }
         busy_ = false;
         maybe_run();

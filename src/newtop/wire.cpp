@@ -2,8 +2,14 @@
 
 namespace failsig::newtop {
 
+std::size_t GcMessage::wire_size() const {
+    return 1 + 4 + 8 + 1 + 8 + 8 + (4 + payload.size()) + 4 + 8 * vector_clock.size() + 8 +
+           4 + 8 + 4 + 4 * view_members.size();
+}
+
 Bytes GcMessage::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(kind));
     w.u32(sender);
     w.u64(stream_seq);
@@ -54,8 +60,11 @@ Result<GcMessage> GcMessage::decode(std::span<const std::uint8_t> data) {
     }
 }
 
+std::size_t MulticastRequest::wire_size() const { return 1 + 4 + payload.size(); }
+
 Bytes MulticastRequest::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(service));
     w.bytes(payload);
     return w.take();
@@ -76,8 +85,13 @@ Result<MulticastRequest> MulticastRequest::decode(std::span<const std::uint8_t> 
     }
 }
 
+std::size_t Delivery::wire_size() const {
+    return 1 + 8 + 4 + 1 + 8 + (4 + payload.size()) + 8 + 4 + 4 * view.members.size();
+}
+
 Bytes Delivery::encode() const {
     ByteWriter w;
+    w.reserve(wire_size());
     w.u8(static_cast<std::uint8_t>(kind));
     w.u64(delivery_seq);
     w.u32(sender);

@@ -50,6 +50,8 @@ struct GcMessage {
     std::uint64_t view_id{0};
     std::vector<MemberId> view_members;
 
+    /// Exact encoded size; hot encoders reserve() this up front.
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<GcMessage> decode(std::span<const std::uint8_t> data);
 
@@ -61,6 +63,7 @@ struct MulticastRequest {
     ServiceType service{ServiceType::kSymmetricTotalOrder};
     Bytes payload;
 
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<MulticastRequest> decode(std::span<const std::uint8_t> data);
 };
@@ -84,6 +87,7 @@ struct Delivery {
     // kView
     GroupView view;
 
+    [[nodiscard]] std::size_t wire_size() const;
     [[nodiscard]] Bytes encode() const;
     static Result<Delivery> decode(std::span<const std::uint8_t> data);
 

@@ -60,8 +60,43 @@ void Any::encode_into(ByteWriter& w) const {
 
 Bytes Any::encode() const {
     ByteWriter w;
+    w.reserve(encoded_size());
     encode_into(w);
     return w.take();
+}
+
+void Any::encode_into_prefixed(ByteWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(encoded_size()));
+    encode_into(w);
+}
+
+std::size_t Any::encoded_size() const {
+    return std::visit(
+        [](const auto& v) -> std::size_t {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::monostate>) {
+                return 1;
+            } else if constexpr (std::is_same_v<T, bool>) {
+                return 2;
+            } else if constexpr (std::is_same_v<T, std::int64_t> ||
+                                 std::is_same_v<T, std::uint64_t> ||
+                                 std::is_same_v<T, double>) {
+                return 1 + 8;
+            } else if constexpr (std::is_same_v<T, std::string> || std::is_same_v<T, Bytes>) {
+                return 1 + 4 + v.size();
+            } else if constexpr (std::is_same_v<T, AnySequence>) {
+                std::size_t size = 1 + 4;
+                for (const auto& item : v) size += item.encoded_size();
+                return size;
+            } else if constexpr (std::is_same_v<T, AnyStruct>) {
+                std::size_t size = 1 + 4;
+                for (const auto& [key, value] : v) {
+                    size += 4 + key.size() + value.encoded_size();
+                }
+                return size;
+            }
+        },
+        v_);
 }
 
 Any Any::decode_from(ByteReader& r, int depth) {

@@ -53,6 +53,12 @@ public:
     /// Compact binary encoding (1 tag byte + value).
     [[nodiscard]] Bytes encode() const;
     void encode_into(ByteWriter& w) const;
+    /// Writes the length-prefixed form (`w.bytes(encode())`) without
+    /// materializing the intermediate buffer.
+    void encode_into_prefixed(ByteWriter& w) const;
+    /// Exact size of encode()'s output, computed without encoding — the
+    /// cost model and the hot encoders' reserve() calls use this.
+    [[nodiscard]] std::size_t encoded_size() const;
 
     static Result<Any> decode(std::span<const std::uint8_t> data);
     /// Decodes one Any from the reader (for nested use); throws on truncation.

@@ -69,9 +69,20 @@ public:
     ObjectRef activate(const std::string& key, Servant* servant);
     void deactivate(const std::string& key);
 
-    /// Oneway invocation through the client interceptor chain.
+    /// Oneway invocation through the client interceptor chain. When
+    /// interceptors fan the call out to several targets, the request body is
+    /// encoded once and shared (zero-copy) across all of them.
     void invoke(const ObjectRef& target, const std::string& operation, Any args,
                 ServiceContexts contexts = {});
+
+    /// Fan-out invocation: one logical request, many targets. Equivalent to
+    /// one invoke() per target — same per-target marshal charge on the pool,
+    /// same wire bytes — except the interceptor chain runs once over the
+    /// whole target list and the body is encoded once and shared. The
+    /// protocol out-queues (GC broadcast, PBFT broadcast, FS client
+    /// replica pairs) use this so a multicast costs O(1) encodes.
+    void invoke_fanout(const std::vector<ObjectRef>& targets, const std::string& operation,
+                       Any args, ServiceContexts contexts = {});
 
     void add_client_interceptor(std::shared_ptr<ClientInterceptor> interceptor);
     void add_server_interceptor(std::shared_ptr<ServerInterceptor> interceptor);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "common/result.hpp"
 #include "common/types.hpp"
 #include "orb/any.hpp"
@@ -39,11 +40,29 @@ struct Request {
     ServiceContexts contexts;  ///< interceptor-managed metadata (signatures &c)
     Endpoint sender;           ///< filled in by the receiving ORB
 
+    // The wire image is [header][body]: the header is the length-prefixed
+    // object key (the only per-target field), the body is everything else.
+    // A multicast encodes the body once and shares it across all n targets
+    // via Payload::prefixed — encode() remains the concatenation, so the
+    // byte layout is unchanged from the pre-zero-copy plane.
     [[nodiscard]] Bytes encode() const;
+    /// The per-target header for `key` (a length-prefixed string).
+    static Bytes encode_key(const std::string& key);
+    /// Everything after the object key, shared across a fan-out.
+    [[nodiscard]] Bytes encode_body() const;
+
     static Result<Request> decode(std::span<const std::uint8_t> data);
+    /// Segment-aware decode: reads the object key from the payload's header
+    /// prefix (when present) and the body from the shared segment, without
+    /// materializing a contiguous copy. (Named distinctly so Bytes callers
+    /// of decode() never face an implicit-conversion ambiguity.)
+    static Result<Request> decode_message(const Payload& payload);
 
     /// Payload size proxy used by the cost model (args + contexts).
     [[nodiscard]] std::size_t wire_size() const;
+    /// wire_size() minus the object key — per-target costs add the actual
+    /// target key length back on.
+    [[nodiscard]] std::size_t wire_size_sans_key() const;
 };
 
 inline std::string to_string(const ObjectRef& ref) {

@@ -224,6 +224,8 @@ ScenarioReport finish(RunState& st, net::SimNetwork& net, TimePoint now) {
                            report.trace.count(TraceEvent::Kind::kMiddlewareFailure);
     m.fail_signals = m.fail_signal_events > 0;
     m.finished_at = now;
+    m.payload_bytes_copied = net.payload_bytes_copied();
+    m.payload_bodies_encoded = net.payload_bodies_encoded();
 
     report.invariants = evaluate(report.scenario, report.trace);
     return report;

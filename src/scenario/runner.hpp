@@ -36,9 +36,16 @@ struct ScenarioMetrics {
     std::uint64_t observed_deliveries{0};  ///< (message, member) delivery pairs
     std::uint64_t expected_deliveries{0};  ///< messages_sent * group_size
     std::uint64_t views_installed{0};
-    std::uint64_t fail_signal_events{0};
+    std::uint64_t fail_signal_events{0};  ///< signalling *episodes* (not emission ticks)
     bool fail_signals{false};
     TimePoint finished_at{0};  ///< simulated time when the run stopped
+    // Zero-copy plane accounting (see net::SimNetwork): bytes actually
+    // materialized vs logical wire bytes, and distinct body encodes. These
+    // feed the perf-regression bench; they are deliberately NOT serialized
+    // into the JSON/CSV reports, whose byte layout is a compatibility
+    // surface for diff-based regression gates.
+    std::uint64_t payload_bytes_copied{0};
+    std::uint64_t payload_bodies_encoded{0};
 };
 
 struct ScenarioReport {

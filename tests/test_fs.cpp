@@ -179,6 +179,45 @@ TEST(FsProcess, FaultFreeDeliversExactlyOneCorrectResponsePerInput) {
     EXPECT_EQ(client.invalid_dropped(), 0u);
 }
 
+TEST(FsProcess, OrderLinkMacModeDeliversCorrectResponses) {
+    // The paper's MAC-vs-signature trade-off: with order_link_mac the pair
+    // authenticates its ordering stream with a pairwise HMAC session key
+    // instead of per-principal signatures. End-to-end behaviour (ordering,
+    // compare, double-signed outputs to third parties) is unchanged.
+    World w;
+    FsConfig cfg;
+    cfg.order_link_mac = true;
+    auto p = w.make_pair("p1", 1, 2, cfg);
+    orb::Orb& client_orb = w.domain.create_orb(NodeId{3});
+    FsClient client(w.host.runtime(), client_orb, "cli");
+
+    std::vector<std::int64_t> sums;
+    client.on_response([&](const std::string&, const std::string&, const Bytes& body) {
+        ByteReader r(body);
+        sums.push_back(r.i64());
+    });
+    bool fail_signal = false;
+    client.on_fail_signal([&](const std::string&) { fail_signal = true; });
+
+    std::int64_t expected_state = 0;
+    std::vector<std::int64_t> expected;
+    for (std::int64_t v = 1; v <= 10; ++v) {
+        client.send("p1", "apply", make_body(client.ref(), v));
+        expected_state = expected_state * 31 + v;
+        expected.push_back(expected_state);
+    }
+    w.sim.run();
+
+    EXPECT_EQ(sums, expected);
+    EXPECT_FALSE(fail_signal);
+    EXPECT_FALSE(p.leader->signalling());
+    EXPECT_FALSE(p.follower->signalling());
+    // The session principal exists and is symmetric-keyed.
+    const std::string link =
+        crypto::KeyService::link_principal(p.leader->principal(), p.follower->principal());
+    EXPECT_TRUE(w.keys.has_principal(link));
+}
+
 TEST(FsProcess, BothReplicasProcessIdenticalInputSequences) {
     World w;
     auto p = w.make_pair("p1", 1, 2);
@@ -515,7 +554,8 @@ TEST(FsAuth, CorruptedWireBytesIgnored) {
     int corrupted = 0;
     w.net.set_corruptor([&](net::Message& m) {
         if (m.payload.size() > 30 && corrupted < 4) {
-            m.payload[m.payload.size() / 2] ^= 0xff;
+            auto& bytes = m.payload.mutable_bytes();
+            bytes[bytes.size() / 2] ^= 0xff;
             ++corrupted;
         }
         return true;

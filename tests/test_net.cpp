@@ -19,7 +19,7 @@ Endpoint ep(std::uint32_t node, std::uint32_t port = 0) {
 TEST(SimNetwork, DeliversToBoundHandler) {
     Fixture f;
     Bytes got;
-    f.net.bind(ep(2), [&](const Message& m) { got = m.payload; });
+    f.net.bind(ep(2), [&](const Message& m) { got = m.payload.to_bytes(); });
     f.net.send(ep(1), ep(2), bytes_of("hi"));
     f.sim.run();
     EXPECT_EQ(got, bytes_of("hi"));
@@ -148,9 +148,9 @@ TEST(SimNetwork, LanLinksNeverRandomlyDrop) {
 TEST(SimNetwork, CorruptorCanMutatePayload) {
     Fixture f;
     Bytes got;
-    f.net.bind(ep(2), [&](const Message& m) { got = m.payload; });
+    f.net.bind(ep(2), [&](const Message& m) { got = m.payload.to_bytes(); });
     f.net.set_corruptor([](Message& m) {
-        if (!m.payload.empty()) m.payload[0] ^= 0xff;
+        if (!m.payload.empty()) m.payload.mutable_bytes()[0] ^= 0xff;
         return true;
     });
     f.net.send(ep(1), ep(2), Bytes{0x00});
