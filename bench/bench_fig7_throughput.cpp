@@ -19,39 +19,54 @@ int main(int argc, char** argv) {
         for (int n = 2; n <= 15; ++n) groups.push_back(n);
     }
 
+    // --batch a,b,c crosses in the ordering pipeline's batch sizes (1 =
+    // off, the paper's shape); each batch value gets its own table block.
+    std::vector<std::size_t> batches = cli.batch_sizes;
+    if (batches.empty()) batches.push_back(1);
+
     print_header("FIG7: throughput vs group size (3-byte messages)",
                  "both rise from n=2, peak near 10, drop beyond; FS overhead 20-30% small n, "
                  "~100% for n>10");
 
     std::vector<ExperimentConfig> configs;
-    for (const int n : groups) {
-        ExperimentConfig cfg;
-        cfg.group_size = n;
-        cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 40;
-        cfg.payload_size = cli.payload_size > 0 ? cli.payload_size : 3;
-        if (cli.seed_set) cfg.seed = cli.seed;
-        cfg.system = System::kNewTop;
-        configs.push_back(cfg);
-        cfg.system = System::kFsNewTop;
-        configs.push_back(cfg);
+    for (const std::size_t b : batches) {
+        for (const int n : groups) {
+            ExperimentConfig cfg;
+            cfg.group_size = n;
+            cfg.msgs_per_member = cli.msgs_per_member > 0 ? cli.msgs_per_member : 40;
+            cfg.payload_size = cli.payload_size > 0 ? cli.payload_size : 3;
+            if (cli.seed_set) cfg.seed = cli.seed;
+            cfg.batch.max_requests = b;
+            cfg.system = System::kNewTop;
+            configs.push_back(cfg);
+            cfg.system = System::kFsNewTop;
+            configs.push_back(cfg);
+        }
     }
     const auto reports = run_experiment_reports(configs, cli.jobs);
 
-    std::printf("%-8s %-18s %-18s %-12s\n", "members", "NewTOP(msg/s)", "FS-NewTOP(msg/s)",
-                "overhead");
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-        const int n = groups[g];
-        const auto newtop = to_result(reports[2 * g]);
-        const auto fsnewtop = to_result(reports[2 * g + 1]);
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        if (batches.size() > 1) {
+            std::printf("--- batch max_requests = %zu %s\n", batches[bi],
+                        batches[bi] <= 1 ? "(batching off)" : "");
+        }
+        std::printf("%-8s %-18s %-18s %-12s\n", "members", "NewTOP(msg/s)",
+                    "FS-NewTOP(msg/s)", "overhead");
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            const int n = groups[g];
+            const std::size_t row = 2 * (bi * groups.size() + g);
+            const auto newtop = to_result(reports[row]);
+            const auto fsnewtop = to_result(reports[row + 1]);
 
-        const double overhead =
-            fsnewtop.throughput_msg_s > 0
-                ? 100.0 * (newtop.throughput_msg_s - fsnewtop.throughput_msg_s) /
-                      fsnewtop.throughput_msg_s
-                : 0.0;
-        std::printf("%-8d %-18.1f %-18.1f %6.0f%%%s\n", n, newtop.throughput_msg_s,
-                    fsnewtop.throughput_msg_s, overhead,
-                    fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
+            const double overhead =
+                fsnewtop.throughput_msg_s > 0
+                    ? 100.0 * (newtop.throughput_msg_s - fsnewtop.throughput_msg_s) /
+                          fsnewtop.throughput_msg_s
+                    : 0.0;
+            std::printf("%-8d %-18.1f %-18.1f %6.0f%%%s\n", n, newtop.throughput_msg_s,
+                        fsnewtop.throughput_msg_s, overhead,
+                        fsnewtop.fail_signals ? "  [UNEXPECTED FAIL-SIGNALS]" : "");
+        }
     }
     return maybe_write_report(cli, reports) ? 0 : 1;
 }

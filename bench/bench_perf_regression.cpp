@@ -2,17 +2,22 @@
 //
 // Runs (a) crypto microbenches — RSA sign/verify, HMAC tags, the pairwise
 // link-MAC session authenticator, and SignedEnvelope build/verify with the
-// incremental signed-region builder and the KeyService verify memo — and
+// incremental signed-region builder and the KeyService verify memo —
 // (b) a zero-copy message-plane microbench plus pinned sweep cells over all
 // three protocol stacks, reporting real wall-clock per cell next to the
 // SimNetwork copy counters (bytes actually materialized vs logical wire
-// bytes; body encodes per multicast).
+// bytes; body encodes per multicast), and (c) the batching pipeline's
+// amortization measurement: the pinned FS-NewTOP n=4 cell run unbatched vs
+// BatchConfig{max_requests=8}, with the signature-verify and
+// delivered-requests-per-round ratios in the JSON.
 //
 // Output is BENCH_<PR>.json in the failsig-bench-v1 schema (documented in
 // EXPERIMENTS.md). Every later PR appends its own BENCH_*.json next to this
 // baseline so regressions are visible as a file diff in review. CI runs
-// `--smoke` on every push and fails on crash, never on timing: absolute
-// numbers are machine-dependent, the *counters* are not.
+// `--smoke` on every push and gates the deterministic counters against the
+// checked-in smoke baseline with bench/compare_bench.py; timing fields stay
+// informational — absolute numbers are machine-dependent, the counters are
+// not.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -269,12 +274,108 @@ void bench_sweep_cells(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) 
     w.end_array();
 }
 
+// ---------------------------------------------------------------------------
+// Batching pipeline: the amortization measurement
+// ---------------------------------------------------------------------------
+
+void bench_batching(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
+    // Pinned cell: FS-NewTOP at n=4 under a dense workload (1 ms between a
+    // member's submissions), run with batching off and with batches of up to
+    // 8. Both runs share one derived seed, so they face the identical
+    // network schedule and the comparison isolates the pipeline.
+    scenario::Scenario base;
+    base.name = "batch";
+    base.system = scenario::SystemKind::kFsNewTop;
+    base.group_size = 4;
+    base.seed = scenario::derive_cell_seed(seed, scenario::SystemKind::kFsNewTop, 4);
+    base.workload.msgs_per_member = smoke ? 16 : 32;
+    base.workload.payload_size = 64;
+    base.workload.send_interval = 1 * kMillisecond;
+    base.batch.max_bytes = 1 << 20;
+    base.batch.flush_after = 20 * kMillisecond;
+
+    w.key("batching");
+    w.begin_object();
+    w.field("system", "FS-NewTOP");
+    w.field("group_size", 4);
+    w.field("msgs_per_member", base.workload.msgs_per_member);
+    w.field("send_interval_us", static_cast<std::int64_t>(base.workload.send_interval));
+
+    const std::size_t batch_sizes[2] = {1, 8};
+    std::uint64_t verify_ops[2] = {0, 0};
+    double delivered_per_round[2] = {0, 0};
+    w.begin_array("cells");
+    for (int i = 0; i < 2; ++i) {
+        scenario::Scenario cell = base;
+        cell.batch.max_requests = batch_sizes[i];
+        cell.name = "batch/FS-NewTOP/n4/b" + std::to_string(batch_sizes[i]);
+
+        const double start = now_ms();
+        const auto report = scenario::run_scenario(cell);
+        const double wall = now_ms() - start;
+        const auto& m = report.metrics;
+        // An "ordered unit" is what one protocol round orders: a batch frame
+        // when batching is on, a bare request when it is off.
+        const std::uint64_t ordered_units =
+            m.batches_formed > 0 ? m.batches_formed : m.messages_sent;
+        verify_ops[i] = m.verify_ops;
+        delivered_per_round[i] =
+            ordered_units > 0
+                ? static_cast<double>(m.observed_deliveries) /
+                      static_cast<double>(ordered_units)
+                : 0.0;
+
+        w.begin_object();
+        w.field("name", cell.name);
+        w.field("batch_max_requests", static_cast<std::uint64_t>(batch_sizes[i]));
+        w.field("status", "ok");
+        w.field("verify_ops", m.verify_ops);
+        w.field("verify_cache_hits", m.verify_cache_hits);
+        w.field("requests_submitted", m.requests_submitted);
+        w.field("requests_batched", m.requests_batched);
+        w.field("batches_formed", m.batches_formed);
+        w.field("flushes_on_deadline", m.flushes_on_deadline);
+        w.field("ordered_units", ordered_units);
+        w.field("observed_deliveries", m.observed_deliveries);
+        w.field("expected_deliveries", m.expected_deliveries);
+        w.field("network_messages", m.network_messages);
+        w.field("network_bytes", m.network_bytes);
+        w.field("delivered_requests_per_round", delivered_per_round[i]);
+        w.field("mean_latency_ms", m.mean_latency_ms);
+        w.field("throughput_msg_s", m.throughput_msg_s);
+        w.field("all_invariants_passed", report.all_invariants_passed());
+        w.field("wall_ms", wall);
+        w.end_object();
+        std::printf("batch b=%zu: verify_ops %llu | %.1f delivered req/round | "
+                    "%llu rounds for %llu reqs | %.0f ms\n",
+                    batch_sizes[i], static_cast<unsigned long long>(m.verify_ops),
+                    delivered_per_round[i], static_cast<unsigned long long>(ordered_units),
+                    static_cast<unsigned long long>(m.messages_sent), wall);
+    }
+    w.end_array();
+
+    // The acceptance ratios (compare_bench.py gates on these): batching 8
+    // requests per round must cut signature verifies >= 4x and raise
+    // delivered-requests-per-round >= 2x.
+    const double verify_ratio =
+        verify_ops[1] > 0
+            ? static_cast<double>(verify_ops[0]) / static_cast<double>(verify_ops[1])
+            : 0.0;
+    const double round_ratio =
+        delivered_per_round[0] > 0 ? delivered_per_round[1] / delivered_per_round[0] : 0.0;
+    w.field("verify_ops_ratio_b1_over_b8", verify_ratio);
+    w.field("delivered_per_round_ratio_b8_over_b1", round_ratio);
+    w.end_object();
+    std::printf("batching: verify amortization %.2fx, delivered/round %.2fx\n", verify_ratio,
+                round_ratio);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool smoke = false;
     std::uint64_t seed = 42;
-    std::string out_path = "BENCH_PR3.json";
+    std::string out_path = "BENCH_PR4.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -298,12 +399,13 @@ int main(int argc, char** argv) {
     scenario::JsonWriter w;
     w.begin_object();
     w.field("format", "failsig-bench-v1");
-    w.field("pr", "PR3");
+    w.field("pr", "PR4");
     w.field("mode", smoke ? "smoke" : "full");
     w.field("seed", seed);
     bench_crypto(w, smoke, seed);
     bench_message_plane(w, smoke, seed);
     bench_sweep_cells(w, smoke, seed);
+    bench_batching(w, smoke, seed);
     w.end_object();
 
     if (!scenario::write_file(out_path, w.take() + "\n")) return 1;

@@ -39,6 +39,9 @@ struct ExperimentConfig {
     int thread_pool{2};
     std::uint64_t seed{42};
     newtop::ServiceType service{newtop::ServiceType::kSymmetricTotalOrder};
+    /// Request batching on the submit path (see common/batch.hpp); off by
+    /// default so the paper-shape figures stay unbatched.
+    BatchConfig batch{};
 };
 
 struct ExperimentResult {
@@ -65,6 +68,10 @@ inline scenario::Scenario make_scenario(const ExperimentConfig& cfg) {
     s.workload.payload_size = cfg.payload_size;
     s.workload.send_interval = cfg.send_interval;
     s.workload.service = cfg.service;
+    s.batch = cfg.batch;
+    if (cfg.batch.enabled()) {
+        s.name += "/b" + std::to_string(cfg.batch.max_requests);
+    }
     return s;
 }
 

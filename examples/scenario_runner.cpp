@@ -1,9 +1,10 @@
 // Scenario runner: the paper's comparative argument as declarative data.
 //
-// Nine fault campaigns across the three stacks (crash-tolerant NewTOP,
+// Eleven fault campaigns across the three stacks (crash-tolerant NewTOP,
 // FS-NewTOP, PBFT baseline) — fault-free baselines, crashes, Byzantine
-// corruption, and the delay surge that splits plain NewTOP but leaves
-// FS-NewTOP untouched. Each Scenario below is pure data; the engine
+// corruption, the delay surge that splits plain NewTOP but leaves
+// FS-NewTOP untouched, and open-loop Poisson load through the batched
+// ordering pipeline. Each Scenario below is pure data; the engine
 // (src/scenario/runner.hpp) builds the deployment, injects the faults,
 // records the trace, and judges it against the built-in invariant checkers.
 // The run writes one JSON report consumable by CI gates and notebooks.
@@ -109,6 +110,45 @@ std::vector<Entry> build_campaigns(std::uint64_t seed) {
         // fail-signal suspicions cannot be false (§3.1).
         s.timeline.push_back(
             ScenarioEvent::delay_surge(500 * kMillisecond, 1 * kSecond, 3 * kSecond));
+        entries.push_back({s, true});
+    }
+
+    // --- batched ordering pipeline under open-loop load ---------------------
+    {
+        // 200 req/s of Poisson arrivals coalesced into batches of up to 8:
+        // one signed FS protocol round orders many requests, and every
+        // invariant (agreement, validity, ...) must hold exactly as if the
+        // requests had been submitted one by one.
+        Scenario s;
+        s.name = "fsnewtop/batched-load";
+        s.system = SystemKind::kFsNewTop;
+        s.group_size = 3;
+        s.seed = seed;
+        s.workload.msgs_per_member = 0;  // all traffic from the load phase
+        s.batch.max_requests = 8;
+        s.batch.flush_after = 5 * kMillisecond;
+        scenario::LoadSpec load;
+        load.rate = 200.0;
+        load.duration = 400 * kMillisecond;
+        load.payload = 16;
+        s.timeline.push_back(ScenarioEvent::load(0, load));
+        entries.push_back({s, true});
+    }
+    {
+        Scenario s;
+        s.name = "newtop/batched-load-crash";
+        s.system = SystemKind::kNewTop;
+        s.group_size = 4;
+        s.seed = seed;
+        s.workload.msgs_per_member = 0;
+        s.batch.max_requests = 8;
+        s.batch.flush_after = 5 * kMillisecond;
+        scenario::LoadSpec load;
+        load.rate = 200.0;
+        load.duration = 400 * kMillisecond;
+        load.payload = 16;
+        s.timeline.push_back(ScenarioEvent::load(0, load));
+        s.timeline.push_back(ScenarioEvent::crash(200 * kMillisecond, 3));
         entries.push_back({s, true});
     }
 

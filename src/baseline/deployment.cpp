@@ -53,14 +53,31 @@ public:
         if (request.operation != "deliver" || !request.args.is<Bytes>()) return;
         auto d = PbftDelivery::decode(request.args.as<Bytes>());
         if (!d.has_value()) return;
-        owner_.delivered_[replica_].push_back(std::to_string(d.value().request.origin) + ":" +
-                                              string_of(d.value().request.payload));
-        if (owner_.delivery_observer_) owner_.delivery_observer_(replica_, d.value());
+        if (Batch::is_batch(d.value().request.payload)) {
+            // One committed slot carrying b requests: unbatch into b upcalls
+            // in batch order, so observers see the individual submissions.
+            auto requests = Batch::decode(d.value().request.payload);
+            if (requests.has_value()) {
+                PbftDelivery sub = d.value();
+                for (auto& payload : std::move(requests).value()) {
+                    sub.request.payload = std::move(payload);
+                    upcall(sub);
+                }
+                return;
+            }
+        }
+        upcall(d.value());
     }
 
     [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
 
 private:
+    void upcall(const PbftDelivery& d) {
+        owner_.delivered_[replica_].push_back(std::to_string(d.request.origin) + ":" +
+                                              string_of(d.request.payload));
+        if (owner_.delivery_observer_) owner_.delivery_observer_(replica_, d);
+    }
+
     PbftDeployment& owner_;
     ReplicaId replica_;
     orb::ObjectRef ref_;
@@ -96,18 +113,33 @@ PbftDeployment::PbftDeployment(const PbftOptions& options)
 
         replicas_.push_back(
             std::make_unique<PbftServant>(*orbs[i], "pbft", std::make_unique<PbftReplica>(cfg)));
+        batchers_.push_back(std::make_unique<Batcher>(
+            options.batch,
+            [this, i](Bytes unit, std::size_t) { submit_unit(i, std::move(unit)); },
+            [this](Duration delay, std::function<void()> fn) {
+                sim_.schedule_after(delay, std::move(fn));
+            }));
     }
 }
 
 PbftDeployment::~PbftDeployment() = default;
 
-std::pair<ReplicaId, std::uint64_t> PbftDeployment::submit(ReplicaId at, Bytes payload) {
+void PbftDeployment::submit(ReplicaId at, Bytes payload) {
+    batchers_[at]->submit(std::move(payload));
+}
+
+void PbftDeployment::submit_unit(ReplicaId at, Bytes unit) {
     ClientRequest req;
     req.origin = at;
     req.origin_seq = next_origin_seq_[at]++;
-    req.payload = std::move(payload);
+    req.payload = std::move(unit);
     replicas_[at]->submit_local("request", req.encode());
-    return {req.origin, req.origin_seq};
+}
+
+BatchStats PbftDeployment::batch_stats() const {
+    BatchStats stats;
+    for (const auto& b : batchers_) stats += b->stats();
+    return stats;
 }
 
 void PbftDeployment::fire_timeouts() {

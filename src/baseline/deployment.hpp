@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "baseline/pbft.hpp"
+#include "common/batch.hpp"
 #include "net/network.hpp"
 #include "orb/orb.hpp"
 
@@ -18,6 +19,9 @@ struct PbftOptions {
     std::uint64_t seed{1};
     sim::CostModel costs{};
     net::AsyncLinkParams net_params{};
+    /// Request batching on the submit path: one ClientRequest — hence one
+    /// pre-prepare and one three-phase exchange — per batch of b requests.
+    BatchConfig batch{};
 };
 
 /// Hosts one PbftReplica as an ORB servant with serialized execution and
@@ -56,8 +60,11 @@ public:
         return static_cast<std::uint32_t>(replicas_.size());
     }
 
-    /// Submits a request at replica `at` and returns its (origin, seq) key.
-    std::pair<ReplicaId, std::uint64_t> submit(ReplicaId at, Bytes payload);
+    /// Submits a request at replica `at`. With batching configured the
+    /// payload may be coalesced with others submitted at the same replica
+    /// within the flush window into one ClientRequest (one pre-prepare);
+    /// delivery unbatches, so observers see one upcall per request either way.
+    void submit(ReplicaId at, Bytes payload);
 
     /// Fires the view-change timeout input at every replica (the liveness
     /// escape hatch when the primary is silent).
@@ -75,14 +82,20 @@ public:
         return NodeId{static_cast<std::uint32_t>(r + 1)};
     }
 
+    /// Aggregated batching counters over every replica's submit path.
+    [[nodiscard]] BatchStats batch_stats() const;
+
 private:
     class DeliverySink;
+
+    void submit_unit(ReplicaId at, Bytes unit);
 
     sim::Simulation sim_;
     net::SimNetwork net_;
     orb::OrbDomain domain_;
     std::vector<std::unique_ptr<PbftServant>> replicas_;
     std::vector<std::unique_ptr<DeliverySink>> sinks_;
+    std::vector<std::unique_ptr<Batcher>> batchers_;
     std::vector<std::vector<std::string>> delivered_;
     std::vector<std::uint64_t> next_origin_seq_;
     DeliveryObserver delivery_observer_;

@@ -1,0 +1,99 @@
+#include "common/batch.hpp"
+
+#include <utility>
+
+namespace failsig {
+
+BatchStats& BatchStats::operator+=(const BatchStats& other) {
+    requests_submitted += other.requests_submitted;
+    requests_batched += other.requests_batched;
+    batches_formed += other.batches_formed;
+    flushes_on_size += other.flushes_on_size;
+    flushes_on_deadline += other.flushes_on_deadline;
+    return *this;
+}
+
+bool Batch::is_batch(std::span<const std::uint8_t> payload) {
+    if (payload.size() < sizeof(std::uint32_t)) return false;
+    std::uint32_t magic = 0;
+    for (std::size_t i = 0; i < sizeof magic; ++i) {
+        magic |= static_cast<std::uint32_t>(payload[i]) << (8 * i);
+    }
+    return magic == kMagic;
+}
+
+Bytes Batch::encode(const std::vector<Bytes>& requests) {
+    std::size_t total = 2 * sizeof(std::uint32_t);
+    for (const auto& r : requests) total += sizeof(std::uint32_t) + r.size();
+    ByteWriter w;
+    w.reserve(total);
+    w.u32(kMagic);
+    w.u32(static_cast<std::uint32_t>(requests.size()));
+    for (const auto& r : requests) w.bytes(r);
+    return w.take();
+}
+
+Result<std::vector<Bytes>> Batch::decode(std::span<const std::uint8_t> payload) {
+    try {
+        ByteReader r(payload);
+        if (r.u32() != kMagic) return Result<std::vector<Bytes>>::err("batch: bad magic");
+        const std::uint32_t count = r.u32();
+        std::vector<Bytes> requests;
+        requests.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) requests.push_back(r.bytes());
+        if (!r.done()) return Result<std::vector<Bytes>>::err("batch: trailing bytes");
+        return requests;
+    } catch (const std::out_of_range&) {
+        return Result<std::vector<Bytes>>::err("batch: truncated frame");
+    }
+}
+
+Batcher::Batcher(BatchConfig config, FlushFn flush, Scheduler scheduler)
+    : cfg_(config), flush_fn_(std::move(flush)), scheduler_(std::move(scheduler)) {
+    ensure(static_cast<bool>(flush_fn_), "Batcher: flush fn required");
+    ensure(!cfg_.enabled() || static_cast<bool>(scheduler_),
+           "Batcher: enabled batching needs a deadline scheduler");
+}
+
+void Batcher::submit(Bytes payload) {
+    ++stats_.requests_submitted;
+    if (!cfg_.enabled()) {
+        flush_fn_(std::move(payload), 1);
+        return;
+    }
+    pending_bytes_ += payload.size();
+    pending_.push_back(std::move(payload));
+    if (pending_.size() == 1) {
+        // First request of a fresh batch: bound its wait. The generation
+        // check makes the timer a no-op when the batch it was armed for has
+        // already flushed on size.
+        scheduler_(cfg_.flush_after, [this, armed_for = generation_] {
+            if (armed_for == generation_ && !pending_.empty()) flush(/*on_deadline=*/true);
+        });
+    }
+    if (pending_.size() >= cfg_.max_requests || pending_bytes_ >= cfg_.max_bytes) {
+        flush(/*on_deadline=*/false);
+    }
+}
+
+void Batcher::flush_now() {
+    if (!pending_.empty()) flush(/*on_deadline=*/false);
+}
+
+void Batcher::flush(bool on_deadline) {
+    ++generation_;
+    ++stats_.batches_formed;
+    stats_.requests_batched += pending_.size();
+    if (on_deadline) {
+        ++stats_.flushes_on_deadline;
+    } else {
+        ++stats_.flushes_on_size;
+    }
+    Bytes frame = Batch::encode(pending_);
+    const std::size_t count = pending_.size();
+    pending_.clear();
+    pending_bytes_ = 0;
+    flush_fn_(std::move(frame), count);
+}
+
+}  // namespace failsig

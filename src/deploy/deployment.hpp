@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/batch.hpp"
 #include "fs/fault.hpp"
 #include "fs/fso.hpp"
 #include "fsnewtop/deployment.hpp"
@@ -40,6 +41,9 @@ struct DeploymentSpec {
     int threads_per_node{2};
     std::uint64_t seed{1};
     newtop::ServiceType service{newtop::ServiceType::kSymmetricTotalOrder};
+    /// Request batching on the submit path (all three stacks honour it; off
+    /// by default — max_requests <= 1 keeps the wire byte-identical).
+    BatchConfig batch{};
 
     // NewTOP only.
     bool start_suspectors{false};
@@ -112,6 +116,16 @@ public:
     /// for FS-NewTOP's collocated placement, where a host is shared between
     /// two pairs and a host fault would sever healthy pairs.
     [[nodiscard]] virtual bool supports_host_faults() const;
+
+    // --- deterministic counters ------------------------------------------
+    /// Aggregated batching-pipeline counters (zero when batching is off or
+    /// the stack ignores DeploymentSpec::batch).
+    [[nodiscard]] virtual BatchStats batch_stats() const { return {}; }
+    /// Signature verifications actually performed / answered from the verify
+    /// memo. Zero for stacks without an authentication layer (NewTOP, the
+    /// unauthenticated PBFT baseline); FS-NewTOP reports its KeyService.
+    [[nodiscard]] virtual std::uint64_t crypto_verify_ops() const { return 0; }
+    [[nodiscard]] virtual std::uint64_t crypto_verify_cache_hits() const { return 0; }
 };
 
 /// Static facts the engine needs before (or instead of) construction.

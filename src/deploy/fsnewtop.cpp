@@ -9,6 +9,7 @@ fsnewtop::FsNewTopOptions FsNewTopDeployment::make_options(const DeploymentSpec&
     opts.seed = spec.seed;
     opts.placement = spec.placement;
     opts.fs_config = spec.fs_config;
+    opts.batch = spec.batch;
     return opts;
 }
 

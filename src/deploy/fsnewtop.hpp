@@ -32,6 +32,13 @@ public:
     [[nodiscard]] bool supports_host_faults() const override {
         return inner_.placement() == fsnewtop::Placement::kFull;
     }
+    [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
+    [[nodiscard]] std::uint64_t crypto_verify_ops() const override {
+        return inner_.keys().verify_ops();
+    }
+    [[nodiscard]] std::uint64_t crypto_verify_cache_hits() const override {
+        return inner_.keys().verify_cache_hits();
+    }
 
 private:
     static fsnewtop::FsNewTopOptions make_options(const DeploymentSpec& spec);

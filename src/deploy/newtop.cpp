@@ -9,6 +9,7 @@ newtop::NewTopOptions NewTopDeployment::make_options(const DeploymentSpec& spec)
     opts.seed = spec.seed;
     opts.start_suspectors = spec.start_suspectors;
     opts.suspector = spec.suspector;
+    opts.batch = spec.batch;
     return opts;
 }
 

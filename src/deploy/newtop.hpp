@@ -21,6 +21,7 @@ public:
     void attach(Observers observers) override;
     void submit(int member, Bytes payload) override;
     void stop_perpetual() override { inner_.stop_suspectors(); }
+    [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
 
 private:
     static newtop::NewTopOptions make_options(const DeploymentSpec& spec);

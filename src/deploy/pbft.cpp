@@ -7,6 +7,7 @@ baseline::PbftOptions PbftDeployment::make_options(const DeploymentSpec& spec) {
     opts.replicas = static_cast<std::uint32_t>(spec.group_size);
     opts.threads_per_node = spec.threads_per_node;
     opts.seed = spec.seed;
+    opts.batch = spec.batch;
     return opts;
 }
 

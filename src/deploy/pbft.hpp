@@ -25,6 +25,7 @@ public:
     void attach(Observers observers) override;
     void submit(int member, Bytes payload) override;
     bool fire_timeouts() override;
+    [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
 
 private:
     static baseline::PbftOptions make_options(const DeploymentSpec& spec);

@@ -40,6 +40,7 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
         orb::Orb& app_orb = domain_.create_orb(app_node(i));
         member.invocation = std::make_unique<FsInvocation>(
             host_.runtime(), app_orb, "inv:" + std::to_string(i), gc_name(i));
+        member.invocation->configure_batching(sim_, options.batch);
     }
 
     // Pass 2: the FS-wrapped GC pairs.
@@ -80,6 +81,12 @@ newtop::GcService& FsNewTopDeployment::gc_leader(int member) {
 
 newtop::GcService& FsNewTopDeployment::gc_follower(int member) {
     return dynamic_cast<newtop::GcService&>(follower_fso(member).service());
+}
+
+BatchStats FsNewTopDeployment::batch_stats() const {
+    BatchStats stats;
+    for (const auto& m : members_) stats += m.invocation->batch_stats();
+    return stats;
 }
 
 NodeId FsNewTopDeployment::app_node_of(int member) const {

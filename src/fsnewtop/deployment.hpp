@@ -33,6 +33,9 @@ struct FsNewTopOptions {
     fs::FsConfig fs_config{};
     Placement placement{Placement::kCollocated};
     crypto::KeyService::Backend crypto_backend{crypto::KeyService::Backend::kHmac};
+    /// Request batching on every member's Invocation submit path: one signed
+    /// envelope (and one FS protocol round) per batch instead of per request.
+    BatchConfig batch{};
 };
 
 class FsNewTopDeployment {
@@ -45,6 +48,7 @@ public:
     [[nodiscard]] sim::Simulation& sim() { return sim_; }
     [[nodiscard]] net::SimNetwork& network() { return net_; }
     [[nodiscard]] crypto::KeyService& keys() { return keys_; }
+    [[nodiscard]] const crypto::KeyService& keys() const { return keys_; }
     [[nodiscard]] int group_size() const { return static_cast<int>(members_.size()); }
 
     [[nodiscard]] FsInvocation& invocation(int member);
@@ -59,6 +63,9 @@ public:
     [[nodiscard]] static std::string gc_name(int member) {
         return "GC:" + std::to_string(member);
     }
+
+    /// Aggregated batching counters over every member's Invocation layer.
+    [[nodiscard]] BatchStats batch_stats() const;
 
     // Physical layout (scenario fault injection needs real node ids: crashes
     // and partitions operate on hosts, not on protocol-level members).

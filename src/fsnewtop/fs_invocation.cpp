@@ -16,7 +16,7 @@ FsInvocation::FsInvocation(fs::FsRuntime& rt, orb::Orb& orb, const std::string& 
     });
 }
 
-void FsInvocation::multicast(newtop::ServiceType service, Bytes payload) {
+void FsInvocation::do_multicast(newtop::ServiceType service, Bytes payload) {
     newtop::MulticastRequest req;
     req.service = service;
     req.payload = std::move(payload);

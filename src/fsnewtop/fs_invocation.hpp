@@ -20,13 +20,18 @@ public:
     FsInvocation(fs::FsRuntime& rt, orb::Orb& orb, const std::string& key,
                  std::string gc_fs_name);
 
-    void multicast(newtop::ServiceType service, Bytes payload) override;
-
     /// The object reference GC deliveries must be addressed to (used when
     /// building the pair's GcConfig).
     [[nodiscard]] const orb::ObjectRef& delivery_ref() const { return client_.ref(); }
 
     [[nodiscard]] const fs::FsClient& client() const { return client_; }
+
+protected:
+    /// One FsClient::send per ordered unit — with batching on, ONE signed
+    /// envelope (and one FS protocol round: order record, compare match,
+    /// countersigned outputs) carries b application requests, which is the
+    /// amortized-signature measurement of the paper's cost trade-off.
+    void do_multicast(newtop::ServiceType service, Bytes payload) override;
 
 private:
     std::string gc_fs_name_;

@@ -39,6 +39,7 @@ NewTopDeployment::NewTopDeployment(const NewTopOptions& options)
 
         member.gc = std::make_unique<GcServant>(orb, "gc", std::make_unique<GcService>(cfg));
         member.invocation = std::make_unique<PlainInvocation>(orb, "inv", *member.gc);
+        member.invocation->configure_batching(sim_, options.batch);
         member.suspector = std::make_unique<PingSuspector>(
             sim_, orb, "susp", static_cast<MemberId>(i), *member.gc, options.suspector);
     }
@@ -72,6 +73,12 @@ PingSuspector& NewTopDeployment::suspector(int member) {
 
 void NewTopDeployment::stop_suspectors() {
     for (auto& m : members_) m.suspector->stop();
+}
+
+BatchStats NewTopDeployment::batch_stats() const {
+    BatchStats stats;
+    for (const auto& m : members_) stats += m.invocation->batch_stats();
+    return stats;
 }
 
 }  // namespace failsig::newtop

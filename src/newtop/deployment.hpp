@@ -28,6 +28,9 @@ struct NewTopOptions {
     /// When false, no ping traffic exists (the paper's failure-free runs
     /// eliminate false suspicions; benches use this).
     bool start_suspectors{false};
+    /// Request batching on every member's Invocation submit path (off by
+    /// default: max_requests <= 1 keeps the wire byte-identical).
+    BatchConfig batch{};
 };
 
 class NewTopDeployment {
@@ -48,6 +51,9 @@ public:
 
     /// Stops all suspectors (lets Simulation::run() terminate).
     void stop_suspectors();
+
+    /// Aggregated batching counters over every member's Invocation layer.
+    [[nodiscard]] BatchStats batch_stats() const;
 
 private:
     struct Member {

@@ -2,6 +2,27 @@
 
 namespace failsig::newtop {
 
+void InvocationService::multicast(ServiceType service, Bytes payload) {
+    if (!batcher_) {  // constructed without configure_batching (direct use)
+        do_multicast(service, std::move(payload));
+        return;
+    }
+    if (batcher_->pending() > 0 && service != batch_service_) batcher_->flush_now();
+    batch_service_ = service;
+    batcher_->submit(std::move(payload));
+}
+
+void InvocationService::configure_batching(sim::Simulation& sim, BatchConfig config) {
+    // Always routed through the Batcher: with batching off it is a counted
+    // passthrough, so requests_submitted means the same thing on every stack.
+    batcher_ = std::make_unique<Batcher>(
+        config,
+        [this](Bytes unit, std::size_t) { do_multicast(batch_service_, std::move(unit)); },
+        [&sim](Duration delay, std::function<void()> fn) {
+            sim.schedule_after(delay, std::move(fn));
+        });
+}
+
 void InvocationService::handle_delivery_bytes(const Bytes& body) {
     auto delivery = Delivery::decode(body);
     if (!delivery.has_value()) return;
@@ -29,10 +50,29 @@ void InvocationService::upcall(const Delivery& d) {
     if (d.kind == Delivery::Kind::kView) {
         last_view_ = d.view;
         if (view_handler_) view_handler_(d.view);
-    } else {
-        ++deliveries_;
-        if (delivery_handler_) delivery_handler_(d);
+        return;
     }
+    if (Batch::is_batch(d.payload)) {
+        // One ordered unit carrying b requests: unbatch into b upcalls in
+        // batch order, so the application sees exactly the b submissions.
+        auto requests = Batch::decode(d.payload);
+        if (requests.has_value()) {
+            Delivery sub = d;
+            for (auto& payload : std::move(requests).value()) {
+                sub.payload = std::move(payload);
+                upcall_single(sub);
+            }
+            return;
+        }
+        // Malformed frame (or an application payload colliding with the
+        // magic): fall through and deliver it opaquely.
+    }
+    upcall_single(d);
+}
+
+void InvocationService::upcall_single(const Delivery& d) {
+    ++deliveries_;
+    if (delivery_handler_) delivery_handler_(d);
 }
 
 PlainInvocation::PlainInvocation(orb::Orb& orb, const std::string& key, GcServant& local_gc)
@@ -40,7 +80,7 @@ PlainInvocation::PlainInvocation(orb::Orb& orb, const std::string& key, GcServan
     self_ref_ = orb.activate(key, this);
 }
 
-void PlainInvocation::multicast(ServiceType service, Bytes payload) {
+void PlainInvocation::do_multicast(ServiceType service, Bytes payload) {
     MulticastRequest req;
     req.service = service;
     req.payload = std::move(payload);

@@ -13,7 +13,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
+#include "common/batch.hpp"
 #include "newtop/gc_servant.hpp"
 
 namespace failsig::newtop {
@@ -29,7 +31,22 @@ public:
     virtual ~InvocationService() = default;
 
     /// Multicasts `payload` to the group with the requested service class.
-    virtual void multicast(ServiceType service, Bytes payload) = 0;
+    /// With batching configured, the payload may be coalesced with others
+    /// submitted within the flush window into ONE ordered unit (a batch
+    /// frame the GC orders like any opaque payload); delivery unbatches, so
+    /// the application observes b individual upcalls in submission order
+    /// either way. This is where FS-NewTOP's per-round signatures get
+    /// amortized: one batch = one multicast = one signed protocol round.
+    void multicast(ServiceType service, Bytes payload);
+
+    /// Enables request batching on this member's submit path. `sim` supplies
+    /// the deadline timer for flush_after. Call before the first multicast.
+    void configure_batching(sim::Simulation& sim, BatchConfig config);
+
+    /// Counters of the batching pipeline ({} when batching is off).
+    [[nodiscard]] BatchStats batch_stats() const {
+        return batcher_ ? batcher_->stats() : BatchStats{};
+    }
 
     void on_delivery(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
     void on_view(ViewHandler handler) { view_handler_ = std::move(handler); }
@@ -41,9 +58,14 @@ public:
     [[nodiscard]] const GroupView& last_view() const { return last_view_; }
 
 protected:
+    /// Stack-specific submit path: hands one (possibly batch-framed) ordered
+    /// unit to the GC below (plain local GC / FS-wrapped GC pair).
+    virtual void do_multicast(ServiceType service, Bytes payload) = 0;
+
     /// Common unmarshalling/re-sequencing/upcall path used by both variants.
     void handle_delivery_bytes(const Bytes& body);
     void upcall(const Delivery& d);
+    void upcall_single(const Delivery& d);
 
     std::uint64_t next_delivery_seq_{1};
     std::map<std::uint64_t, Delivery> pending_deliveries_;
@@ -52,6 +74,12 @@ protected:
     MiddlewareFailureHandler failure_handler_;
     std::uint64_t deliveries_{0};
     GroupView last_view_;
+
+private:
+    std::unique_ptr<Batcher> batcher_;
+    /// Service class of the open batch; a submit with a different class
+    /// flushes first (batches never mix ordering semantics).
+    ServiceType batch_service_{ServiceType::kSymmetricTotalOrder};
 };
 
 /// Invocation service of the original, crash-tolerant NewTOP.
@@ -60,10 +88,12 @@ public:
     /// Registers under `key` on `orb`; `local_gc` is the collocated GC object.
     PlainInvocation(orb::Orb& orb, const std::string& key, GcServant& local_gc);
 
-    void multicast(ServiceType service, Bytes payload) override;
     void dispatch(const orb::Request& request) override;
 
     [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+
+protected:
+    void do_multicast(ServiceType service, Bytes payload) override;
 
 private:
     GcServant& local_gc_;

@@ -14,6 +14,8 @@ void print_usage(const char* program, const std::string& extra) {
         "  --groups a,b,c   group sizes to sweep (comma separated)\n"
         "  --messages N     messages multicast per member\n"
         "  --payload N      payload bytes per message (min 8)\n"
+        "  --batch a,b,c    batch sizes to sweep (max requests per ordered\n"
+        "                   unit; 1 = batching off)\n"
         "  --seed N         RNG seed\n"
         "  --jobs N         worker threads for independent runs (default:\n"
         "                   hardware concurrency; results are identical for any N)\n"
@@ -97,6 +99,14 @@ CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage) {
                 return opts;
             }
             opts.payload_size = static_cast<std::size_t>(v);
+        } else if (arg == "--batch" && has_value) {
+            std::vector<int> sizes;
+            if (!parse_int_list(argv[++i], sizes)) {
+                std::fprintf(stderr, "%s: bad --batch value '%s'\n", argv[0], argv[i]);
+                opts.error = true;
+                return opts;
+            }
+            for (const int b : sizes) opts.batch_sizes.push_back(static_cast<std::size_t>(b));
         } else if (arg == "--seed" && has_value) {
             if (!parse_u64(argv[++i], opts.seed)) {
                 std::fprintf(stderr, "%s: bad --seed value '%s'\n", argv[0], argv[i]);

@@ -16,6 +16,9 @@ struct CliOptions {
     std::vector<int> group_sizes;  ///< empty = binary default
     int msgs_per_member{0};        ///< 0 = binary default
     std::size_t payload_size{0};   ///< 0 = binary default
+    /// Batch-size axis (BatchConfig::max_requests values); empty = binary
+    /// default (usually batching off). 1 is a valid entry: "unbatched".
+    std::vector<std::size_t> batch_sizes;
     std::uint64_t seed{0};
     bool seed_set{false};
     int jobs{0};           ///< sweep worker threads; 0 = hardware concurrency
@@ -24,8 +27,9 @@ struct CliOptions {
     bool error{false};     ///< bad flag/value: message already printed
 };
 
-/// Parses --groups a,b,c / --messages N / --payload N / --seed N / --jobs N
-/// / --out PATH / --help. `extra_usage` is appended to the usage text.
+/// Parses --groups a,b,c / --messages N / --payload N / --batch a,b,c /
+/// --seed N / --jobs N / --out PATH / --help. `extra_usage` is appended to
+/// the usage text.
 /// Callers should exit 0 on `.help` and exit 1 on `.error`.
 CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage = "");
 

@@ -143,6 +143,7 @@ void write_report(JsonWriter& w, const ScenarioReport& report) {
     w.field("payload_size", static_cast<std::uint64_t>(s.workload.payload_size));
     w.field("send_interval_us", static_cast<std::int64_t>(s.workload.send_interval));
     w.field("service", service_name(s.workload.service));
+    w.field("batch_max_requests", static_cast<std::uint64_t>(s.batch.max_requests));
     w.end_object();
 
     w.begin_array("events");
@@ -168,6 +169,10 @@ void write_report(JsonWriter& w, const ScenarioReport& report) {
     w.field("views_installed", m.views_installed);
     w.field("fail_signal_events", m.fail_signal_events);
     w.field("fail_signals", m.fail_signals);
+    w.field("requests_submitted", m.requests_submitted);
+    w.field("requests_batched", m.requests_batched);
+    w.field("batches_formed", m.batches_formed);
+    w.field("flushes_on_deadline", m.flushes_on_deadline);
     w.field("finished_at_us", static_cast<std::int64_t>(m.finished_at));
     w.end_object();
 
@@ -205,7 +210,9 @@ std::string to_csv(const std::vector<ScenarioReport>& reports) {
         "scenario,system,group_size,seed,seed_axis,seed_index,"
         "mean_latency_ms,p95_latency_ms,throughput_msg_s,"
         "network_messages,network_bytes,messages_sent,observed_deliveries,expected_deliveries,"
-        "views_installed,fail_signal_events,invariants_passed,status\n";
+        "views_installed,fail_signal_events,"
+        "requests_submitted,requests_batched,batches_formed,flushes_on_deadline,"
+        "invariants_passed,status\n";
     for (const auto& report : reports) {
         const auto& s = report.scenario;
         const auto& m = report.metrics;
@@ -226,16 +233,18 @@ std::string to_csv(const std::vector<ScenarioReport>& reports) {
         const std::uint64_t seed_axis =
             report.from_sweep ? report.seed_axis : static_cast<std::uint64_t>(s.seed);
         const std::uint64_t seed_index = report.from_sweep ? report.seed_index : 0;
-        char nums[384];
+        char nums[512];
         std::snprintf(nums, sizeof nums,
                       "%d,%" PRIu64 ",%" PRIu64 ",%" PRIu64
                       ",%.3f,%.3f,%.2f,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                       ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64,
                       s.group_size, static_cast<std::uint64_t>(s.seed), seed_axis, seed_index,
                       m.mean_latency_ms, m.p95_latency_ms,
                       m.throughput_msg_s, m.network_messages, m.network_bytes, m.messages_sent,
                       m.observed_deliveries, m.expected_deliveries, m.views_installed,
-                      m.fail_signal_events);
+                      m.fail_signal_events, m.requests_submitted, m.requests_batched,
+                      m.batches_formed, m.flushes_on_deadline);
         out += name;
         out += ",";
         out += name_of(s.system);

@@ -109,12 +109,47 @@ struct RunState {
     }
 };
 
-void fire_send(RunState& st, deploy::Deployment& d, int member) {
+void fire_send(RunState& st, deploy::Deployment& d, int member, std::size_t payload_size) {
     const std::uint32_t seq = st.next_seq[static_cast<std::size_t>(member)]++;
     Bytes payload = make_payload(static_cast<std::uint32_t>(member), seq,
-                                 std::max<std::size_t>(st.s.workload.payload_size, 8));
+                                 std::max<std::size_t>(payload_size, 8));
     st.on_sent(member, seq, d.sim().now());
     d.submit(member, std::move(payload));
+}
+
+void fire_send(RunState& st, deploy::Deployment& d, int member) {
+    fire_send(st, d, member, st.s.workload.payload_size);
+}
+
+/// Schedules one kLoad event's open-loop arrival process. All arrivals are
+/// materialized up front from an RNG derived from (scenario seed, event
+/// position) alone — deterministic, and independent of both the network's
+/// random stream and the system's progress (the generator never waits for
+/// deliveries; that is what "open-loop" means).
+void schedule_load(deploy::Deployment& d, RunState& st, const ScenarioEvent& event,
+                   std::size_t event_index) {
+    const LoadSpec& spec = event.load_spec;
+    ensure(spec.rate > 0.0, "scenario: load rate must be > 0");
+    ensure(spec.duration > 0, "scenario: load duration must be > 0");
+
+    std::uint64_t state = st.s.seed ^ 0x10adf00ddeadbeefULL;
+    std::uint64_t h = splitmix64(state);
+    state = h ^ static_cast<std::uint64_t>(event_index);
+    Rng rng(splitmix64(state));
+
+    const double mean_us = 1e6 / spec.rate;
+    const int n = st.s.group_size;
+    const TimePoint end = event.at + spec.duration;
+    TimePoint t = event.at;
+    for (;;) {
+        t += std::max<Duration>(
+            1, static_cast<Duration>(rng.exponential(mean_us) + 0.5));
+        if (t >= end) break;
+        const int member = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+        d.sim().schedule_at(t, [&st, &d, member, payload = spec.payload] {
+            fire_send(st, d, member, payload);
+        });
+    }
 }
 
 /// Members are staggered across the send interval, as independent
@@ -135,7 +170,12 @@ void schedule_workload(deploy::Deployment& d, RunState& st) {
 /// Capability-gated hooks (fault plans, liveness timers) record a
 /// not-applicable note instead of acting when the stack lacks the layer.
 void schedule_timeline(deploy::Deployment& d, RunState& st) {
-    for (const auto& event : st.s.timeline) {
+    for (std::size_t index = 0; index < st.s.timeline.size(); ++index) {
+        const auto& event = st.s.timeline[index];
+        // Load arrivals are pre-materialized (deterministically) rather than
+        // generated inside the event callback; the callback below still
+        // records the event in the trace.
+        if (event.kind == ScenarioEvent::Kind::kLoad) schedule_load(d, st, event, index);
         d.sim().schedule_at(event.at, [&st, &d, event] {
             TraceEvent te;
             te.kind = TraceEvent::Kind::kScenarioEvent;
@@ -179,6 +219,8 @@ void schedule_timeline(deploy::Deployment& d, RunState& st) {
                         te.detail += " [ignored: no liveness timers]";
                     }
                     break;
+                case Kind::kLoad:
+                    break;  // arrivals pre-scheduled by schedule_load
             }
             st.trace.record(std::move(te));
         });
@@ -203,7 +245,9 @@ void drive(deploy::Deployment& d, const Scenario& s) {
     d.sim().run_until(deadline + s.settle);
 }
 
-ScenarioReport finish(RunState& st, net::SimNetwork& net, TimePoint now) {
+ScenarioReport finish(RunState& st, deploy::Deployment& dep) {
+    net::SimNetwork& net = dep.network();
+    const TimePoint now = dep.sim().now();
     ScenarioReport report;
     report.scenario = st.s;
     report.trace = std::move(st.trace);
@@ -224,8 +268,15 @@ ScenarioReport finish(RunState& st, net::SimNetwork& net, TimePoint now) {
                            report.trace.count(TraceEvent::Kind::kMiddlewareFailure);
     m.fail_signals = m.fail_signal_events > 0;
     m.finished_at = now;
+    const BatchStats batch = dep.batch_stats();
+    m.requests_submitted = batch.requests_submitted;
+    m.requests_batched = batch.requests_batched;
+    m.batches_formed = batch.batches_formed;
+    m.flushes_on_deadline = batch.flushes_on_deadline;
     m.payload_bytes_copied = net.payload_bytes_copied();
     m.payload_bodies_encoded = net.payload_bodies_encoded();
+    m.verify_ops = dep.crypto_verify_ops();
+    m.verify_cache_hits = dep.crypto_verify_cache_hits();
 
     report.invariants = evaluate(report.scenario, report.trace);
     return report;
@@ -237,6 +288,7 @@ deploy::DeploymentSpec spec_of(const Scenario& s) {
     spec.threads_per_node = s.threads_per_node;
     spec.seed = s.seed;
     spec.service = s.workload.service;
+    spec.batch = s.batch;
     spec.start_suspectors = s.start_suspectors;
     spec.suspector = s.suspector;
     spec.placement = s.placement;
@@ -328,7 +380,7 @@ ScenarioReport run_scenario(const Scenario& scenario) {
     schedule_workload(dep, st);
     schedule_timeline(dep, st);
     drive(dep, scenario);
-    return finish(st, dep.network(), dep.sim().now());
+    return finish(st, dep);
 }
 
 std::vector<ScenarioReport> run_scenarios(const std::vector<Scenario>& scenarios, int jobs) {
@@ -354,6 +406,12 @@ std::vector<ScenarioReport> run_sweep(const SweepSpec& spec) {
         spec.group_sizes.empty() ? std::vector<int>{spec.base.group_size} : spec.group_sizes;
     const std::vector<std::uint64_t> seeds =
         spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.seed} : spec.seeds;
+    // An explicit batch axis names its cells "/b<N>"; an empty axis keeps the
+    // base config and the pre-batching cell names byte-identical.
+    const bool batch_axis = !spec.batch_sizes.empty();
+    const std::vector<std::size_t> batch_sizes =
+        batch_axis ? spec.batch_sizes
+                   : std::vector<std::size_t>{spec.base.batch.max_requests};
 
     // Materialize every cell in canonical order first (the report order),
     // then execute the runnable ones on the worker pool. Cells below a
@@ -368,19 +426,27 @@ std::vector<ScenarioReport> run_sweep(const SweepSpec& spec) {
     for (const SystemKind system : systems) {
         const deploy::SystemTraits traits = deploy::traits_of(system);
         for (const int n : group_sizes) {
-            for (std::size_t seed_index = 0; seed_index < seeds.size(); ++seed_index) {
-                const std::uint64_t seed = seeds[seed_index];
-                Cell cell;
-                cell.scenario = spec.base;
-                cell.scenario.system = system;
-                cell.scenario.group_size = n;
-                cell.scenario.seed = derive_cell_seed(seed, system, n);
-                cell.scenario.name = spec.base.name + "/" + name_of(system) + "/n" +
-                                     std::to_string(n) + "/s" + std::to_string(seed);
-                cell.seed_axis = seed;
-                cell.seed_index = static_cast<std::uint64_t>(seed_index);
-                if (n < traits.min_group_size) cell.skip_reason = traits.min_group_reason;
-                cells.push_back(std::move(cell));
+            for (const std::size_t batch : batch_sizes) {
+                for (std::size_t seed_index = 0; seed_index < seeds.size(); ++seed_index) {
+                    const std::uint64_t seed = seeds[seed_index];
+                    Cell cell;
+                    cell.scenario = spec.base;
+                    cell.scenario.system = system;
+                    cell.scenario.group_size = n;
+                    cell.scenario.batch.max_requests = batch;
+                    // Same (seed, system, n) => same derived seed for every
+                    // batch size: batch cells face identical network
+                    // schedules, so the comparison isolates batching.
+                    cell.scenario.seed = derive_cell_seed(seed, system, n);
+                    cell.scenario.name = spec.base.name + "/" + name_of(system) + "/n" +
+                                         std::to_string(n) +
+                                         (batch_axis ? "/b" + std::to_string(batch) : "") +
+                                         "/s" + std::to_string(seed);
+                    cell.seed_axis = seed;
+                    cell.seed_index = static_cast<std::uint64_t>(seed_index);
+                    if (n < traits.min_group_size) cell.skip_reason = traits.min_group_reason;
+                    cells.push_back(std::move(cell));
+                }
             }
         }
     }

@@ -39,6 +39,15 @@ struct ScenarioMetrics {
     std::uint64_t fail_signal_events{0};  ///< signalling *episodes* (not emission ticks)
     bool fail_signals{false};
     TimePoint finished_at{0};  ///< simulated time when the run stopped
+    // Batching pipeline (see common/batch.hpp): requests entering the
+    // submit path, requests that left inside batch frames, ordered units
+    // formed, and deadline-triggered flushes. Serialized into the JSON/CSV
+    // reports — sweeps plot delivered-requests-per-round against offered
+    // load × batch size from these columns.
+    std::uint64_t requests_submitted{0};
+    std::uint64_t requests_batched{0};
+    std::uint64_t batches_formed{0};
+    std::uint64_t flushes_on_deadline{0};
     // Zero-copy plane accounting (see net::SimNetwork): bytes actually
     // materialized vs logical wire bytes, and distinct body encodes. These
     // feed the perf-regression bench; they are deliberately NOT serialized
@@ -46,6 +55,11 @@ struct ScenarioMetrics {
     // surface for diff-based regression gates.
     std::uint64_t payload_bytes_copied{0};
     std::uint64_t payload_bodies_encoded{0};
+    // Authentication-layer accounting (FS-NewTOP's KeyService; zero for the
+    // other stacks). Like the payload counters these feed the perf bench
+    // (the amortized-signature measurement), not the report files.
+    std::uint64_t verify_ops{0};
+    std::uint64_t verify_cache_hits{0};
 };
 
 struct ScenarioReport {
@@ -96,6 +110,13 @@ struct SweepSpec {
     std::vector<SystemKind> systems;
     std::vector<int> group_sizes;
     std::vector<std::uint64_t> seeds;
+    /// Batch-size axis (BatchConfig::max_requests; other batch knobs come
+    /// from the base scenario). Empty = keep the base value and leave cell
+    /// names unchanged; non-empty appends "/b<batch>" to each cell name.
+    /// The per-cell RNG seed is deliberately NOT a function of this axis, so
+    /// cells differing only in batch size face the identical network
+    /// schedule — the batching comparison is apples-to-apples.
+    std::vector<std::size_t> batch_sizes;
     /// Worker threads for the cell cross-product (0 = hardware concurrency).
     /// The report is byte-identical for every value.
     int jobs{0};

@@ -71,6 +71,14 @@ ScenarioEvent ScenarioEvent::fire_timeouts(TimePoint at) {
     return e;
 }
 
+ScenarioEvent ScenarioEvent::load(TimePoint at, LoadSpec spec) {
+    ScenarioEvent e;
+    e.kind = Kind::kLoad;
+    e.at = at;
+    e.load_spec = spec;
+    return e;
+}
+
 namespace {
 
 std::string describe_fault_plan(const fs::FaultPlan& plan) {
@@ -121,6 +129,10 @@ std::string ScenarioEvent::describe() const {
                    " messages=" + std::to_string(burst_messages);
         case Kind::kFireTimeouts:
             return "fire_timeouts";
+        case Kind::kLoad:
+            return "load rate=" + std::to_string(load_spec.rate) +
+                   "/s duration=" + std::to_string(load_spec.duration) +
+                   "us payload=" + std::to_string(load_spec.payload);
     }
     return "?";
 }
@@ -162,6 +174,9 @@ TimePoint Scenario::workload_end() const {
     for (const auto& e : timeline) {
         if (e.kind == ScenarioEvent::Kind::kBurst) end = std::max(end, e.at);
         if (e.kind == ScenarioEvent::Kind::kDelaySurge) end = std::max(end, e.surge_until);
+        if (e.kind == ScenarioEvent::Kind::kLoad) {
+            end = std::max(end, e.at + e.load_spec.duration);
+        }
     }
     return end;
 }

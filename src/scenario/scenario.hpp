@@ -32,6 +32,21 @@ using deploy::name_of;
 /// Which node of a fail-signal pair a fault plan targets (FS-NewTOP only).
 enum class PairNode : std::uint8_t { kLeader, kFollower };
 
+/// Open-loop load: arrivals follow a Poisson process at `rate` aggregate
+/// requests/second across all members for `duration`, with each arrival
+/// assigned to a uniformly random member. Arrival times and member choices
+/// are drawn from an RNG derived from (scenario seed, event position), so
+/// the offered load never depends on — and never perturbs — the network's
+/// random stream: the generator keeps submitting on schedule no matter how
+/// the system is keeping up, which is what makes the load *open-loop* and
+/// throughput/latency-vs-offered-load plots meaningful.
+struct LoadSpec {
+    double rate{100.0};            ///< aggregate requests/second, must be > 0
+    Duration duration{1 * kSecond};
+    /// Payload bytes; clamped up to 8 so the (sender, seq) latency tag fits.
+    std::size_t payload{8};
+};
+
 /// One timeline entry. Use the factory functions; `kind` says which fields
 /// are meaningful (same style as newtop::GcMessage).
 struct ScenarioEvent {
@@ -44,6 +59,7 @@ struct ScenarioEvent {
         kDropProbability = 6,  ///< random drop on async links from `at` on
         kBurst = 7,            ///< workload burst: extra messages from one member
         kFireTimeouts = 8,     ///< PBFT: fire the view-change liveness timers
+        kLoad = 9,             ///< open-loop Poisson load phase (LoadSpec)
     };
 
     Kind kind{Kind::kCrashMember};
@@ -56,6 +72,7 @@ struct ScenarioEvent {
     std::vector<std::vector<int>> groups;   ///< kPartition (member indices)
     double drop_probability{0.0};           ///< kDropProbability
     int burst_messages{0};                  ///< kBurst
+    LoadSpec load_spec{};                   ///< kLoad
 
     static ScenarioEvent crash(TimePoint at, int member);
     static ScenarioEvent fault(TimePoint at, int member, PairNode node,
@@ -66,6 +83,7 @@ struct ScenarioEvent {
     static ScenarioEvent drop(TimePoint at, double probability);
     static ScenarioEvent burst(TimePoint at, int member, int messages);
     static ScenarioEvent fire_timeouts(TimePoint at);
+    static ScenarioEvent load(TimePoint at, LoadSpec spec);
 
     /// One-line human/trace description ("crash member=2", ...).
     [[nodiscard]] std::string describe() const;
@@ -108,6 +126,10 @@ struct Scenario {
     /// Extra simulated time after `deadline` for in-flight traffic to
     /// settle (the runner never waits for a perpetual event loop).
     Duration settle{30 * kSecond};
+
+    /// Request batching on the submit path of whichever stack runs (see
+    /// common/batch.hpp); off by default.
+    BatchConfig batch{};
 
     // System-specific knobs.
     bool start_suspectors{false};                       ///< NewTOP only

@@ -17,7 +17,15 @@
 namespace failsig::fs {
 namespace {
 
-/// Order-sensitive deterministic service: state' = state * 31 + value, and
+/// The toy hash's mixing step, in unsigned arithmetic: long input sequences
+/// overflow, and wraparound must be defined (not UB) for leader and follower
+/// to agree bit-for-bit.
+std::int64_t mix(std::int64_t state, std::int64_t value) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(state) * 31u +
+                                     static_cast<std::uint64_t>(value));
+}
+
+/// Order-sensitive deterministic service: state' = mix(state, value), and
 /// replies with the new state to the client reference packed in the body.
 /// A "forward" operation instead sends the value on to another FS process.
 class HashSumService final : public DeterministicService {
@@ -32,7 +40,7 @@ public:
         const std::string forward_to = r.str();
         const std::int64_t value = r.i64();
 
-        state = state * 31 + value;
+        state = mix(state, value);
         inputs_processed.push_back(value);
 
         ByteWriter w;
@@ -164,7 +172,7 @@ TEST(FsProcess, FaultFreeDeliversExactlyOneCorrectResponsePerInput) {
     std::vector<std::int64_t> expected;
     for (std::int64_t v = 1; v <= 10; ++v) {
         client.send("p1", "apply", make_body(client.ref(), v));
-        expected_state = expected_state * 31 + v;
+        expected_state = mix(expected_state, v);
         expected.push_back(expected_state);
     }
     w.sim.run();
@@ -203,7 +211,7 @@ TEST(FsProcess, OrderLinkMacModeDeliversCorrectResponses) {
     std::vector<std::int64_t> expected;
     for (std::int64_t v = 1; v <= 10; ++v) {
         client.send("p1", "apply", make_body(client.ref(), v));
-        expected_state = expected_state * 31 + v;
+        expected_state = mix(expected_state, v);
         expected.push_back(expected_state);
     }
     w.sim.run();
@@ -395,7 +403,7 @@ TEST_P(FaultKindTest, EnvironmentSeesOnlyFailSignalsNeverWrongResults) {
     std::int64_t state = 0;
     std::vector<std::int64_t> correct;
     for (std::int64_t v = 1; v <= 6; ++v) {
-        state = state * 31 + v;
+        state = mix(state, v);
         correct.push_back(state);
     }
     ASSERT_LE(sums.size(), correct.size());
