@@ -53,12 +53,35 @@ public:
         if (request.operation != "deliver" || !request.args.is<Bytes>()) return;
         auto d = PbftDelivery::decode(request.args.as<Bytes>());
         if (!d.has_value()) return;
-        if (Batch::is_batch(d.value().request.payload)) {
+        // Re-sequence on the replica's commit order: the replica emits
+        // deliveries in seq order, but each travels as its own marshal task
+        // through the node's thread pool, and two tasks racing to the local
+        // link can hit the wire swapped (the schedule-space explorer found
+        // exactly this under a permuted tie-break). The application contract
+        // is commit order, so hold back until the stream is gapless. On an
+        // in-order stream this is a pure pass-through.
+        PbftDelivery delivery = std::move(d).value();
+        const std::uint64_t seq = delivery.seq;
+        holdback_.emplace(seq, std::move(delivery));
+        while (true) {
+            const auto it = holdback_.find(next_seq_);
+            if (it == holdback_.end()) break;
+            unbatch_and_upcall(it->second);
+            holdback_.erase(it);
+            ++next_seq_;
+        }
+    }
+
+    [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
+
+private:
+    void unbatch_and_upcall(const PbftDelivery& d) {
+        if (Batch::is_batch(d.request.payload)) {
             // One committed slot carrying b requests: unbatch into b upcalls
             // in batch order, so observers see the individual submissions.
-            auto requests = Batch::decode(d.value().request.payload);
+            auto requests = Batch::decode(d.request.payload);
             if (requests.has_value()) {
-                PbftDelivery sub = d.value();
+                PbftDelivery sub = d;
                 for (auto& payload : std::move(requests).value()) {
                     sub.request.payload = std::move(payload);
                     upcall(sub);
@@ -66,12 +89,9 @@ public:
                 return;
             }
         }
-        upcall(d.value());
+        upcall(d);
     }
 
-    [[nodiscard]] const orb::ObjectRef& ref() const { return ref_; }
-
-private:
     void upcall(const PbftDelivery& d) {
         owner_.delivered_[replica_].push_back(std::to_string(d.request.origin) + ":" +
                                               string_of(d.request.payload));
@@ -81,6 +101,8 @@ private:
     PbftDeployment& owner_;
     ReplicaId replica_;
     orb::ObjectRef ref_;
+    std::uint64_t next_seq_{1};
+    std::map<std::uint64_t, PbftDelivery> holdback_;
 };
 
 PbftDeployment::PbftDeployment(const PbftOptions& options)

@@ -38,6 +38,13 @@ Result<std::vector<Bytes>> Batch::decode(std::span<const std::uint8_t> payload) 
         ByteReader r(payload);
         if (r.u32() != kMagic) return Result<std::vector<Bytes>>::err("batch: bad magic");
         const std::uint32_t count = r.u32();
+        // Every request costs at least its 4-byte length prefix: reject an
+        // absurd count from the wire BEFORE it sizes an allocation (the
+        // fuzz corpus found reserve() being driven to gigabytes by a
+        // 12-byte frame claiming 2^32-1 entries).
+        if (static_cast<std::size_t>(count) * sizeof(std::uint32_t) > r.remaining()) {
+            return Result<std::vector<Bytes>>::err("batch: count exceeds frame");
+        }
         std::vector<Bytes> requests;
         requests.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) requests.push_back(r.bytes());

@@ -113,7 +113,14 @@ void SimNetwork::send(Endpoint src, Endpoint dst, Payload payload) {
         ++messages_dropped_;
         return;
     }
-    if (!is_lan && drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
+    // Random drop models a lossy *async link*; loopback traffic is an
+    // in-process upcall (e.g. a replica handing a committed request to its
+    // own application sink) and is as reliable as the LAN pairs. Without
+    // this exemption, a dropped local delivery would park every later
+    // upcall in a seq-holdback forever while the truncated stream still
+    // looks like a valid prefix to the agreement checker.
+    if (!is_lan && src.node != dst.node && drop_probability_ > 0.0 &&
+        rng_.chance(drop_probability_)) {
         ++messages_dropped_;
         return;
     }

@@ -114,6 +114,13 @@ struct Scenario {
     /// Members for NewTOP/FS-NewTOP; replicas for PBFT (needs >= 4).
     int group_size{3};
     std::uint64_t seed{1};
+    /// Schedule perturbation: seeds the Simulation's same-timestamp
+    /// tie-break policy (see sim::Simulation::set_tie_break). 0 — the
+    /// default — keeps the historical FIFO rule, byte-identical to runs
+    /// before this knob existed; non-zero installs a deterministic random
+    /// permutation of equal-time events, the schedule axis the explorer
+    /// (src/explore) searches over. Still a pure function of the Scenario.
+    std::uint64_t tie_break_seed{0};
     int threads_per_node{2};
     Workload workload{};
     std::vector<ScenarioEvent> timeline;

@@ -6,7 +6,9 @@ namespace failsig::sim {
 
 Simulation::EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
     const EventId id = next_id_++;
-    heap_.push_back(Event{std::max(at, now_), id});
+    const TimePoint fire_at = std::max(at, now_);
+    const std::uint64_t tie = tie_break_ ? tie_break_(id, fire_at) : id;
+    heap_.push_back(Event{fire_at, id, tie});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     handlers_.emplace(id, std::move(fn));
     return id;

@@ -2,8 +2,13 @@
 //
 // Everything in a failsig deployment — protocol handlers, CPU execution,
 // network delivery, timeouts — runs as events on one `Simulation`. Events at
-// equal timestamps fire in scheduling order, so a run is a pure function of
-// (code, seeds): every experiment and test is exactly reproducible.
+// equal timestamps fire in scheduling order by default, so a run is a pure
+// function of (code, seeds): every experiment and test is exactly
+// reproducible. The same-timestamp order is a *pluggable policy*: the
+// schedule-space explorer (src/explore) installs a seeded tie-break that
+// permutes equal-time events deterministically, exploring interleavings a
+// real (tie-order-agnostic) network could produce — with the policy left at
+// default, behaviour is byte-identical to the historical FIFO rule.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,11 @@ class Simulation {
 public:
     using EventId = std::uint64_t;
     using EventFn = std::function<void()>;
+    /// Maps (event id, firing time) to a tie-break key: among events with
+    /// equal timestamps, smaller keys fire first (ids break key collisions,
+    /// so any policy stays a total, deterministic order). Must be a pure
+    /// function — it is evaluated once, at scheduling time.
+    using TieBreakFn = std::function<std::uint64_t(EventId id, TimePoint at)>;
 
     Simulation() = default;
     Simulation(const Simulation&) = delete;
@@ -33,6 +43,12 @@ public:
     EventId schedule_after(Duration delay, EventFn fn) {
         return schedule_at(now_ + delay, std::move(fn));
     }
+
+    /// Installs the same-timestamp ordering policy for events scheduled from
+    /// now on (already-queued events keep the key they were scheduled with).
+    /// Default (unset / nullptr): FIFO — key == id, the historical
+    /// scheduling-order rule, byte-identical to builds without this seam.
+    void set_tie_break(TieBreakFn policy) { tie_break_ = std::move(policy); }
 
     /// Cancels a pending event. Returns false if it already fired or is
     /// unknown. The handler closure is destroyed eagerly, and the heap slot
@@ -63,9 +79,14 @@ private:
     struct Event {
         TimePoint at;
         EventId id;
-        // Ordering: earliest time first; FIFO among equal times via id.
+        /// Tie-break key among equal timestamps; == id under the default
+        /// FIFO policy, so the historical ordering is preserved exactly.
+        std::uint64_t tie;
+        // Ordering: earliest time first; among equal times, smallest
+        // tie-break key; ids make the order total under any policy.
         bool operator>(const Event& other) const {
             if (at != other.at) return at > other.at;
+            if (tie != other.tie) return tie > other.tie;
             return id > other.id;
         }
     };
@@ -87,6 +108,7 @@ private:
     std::vector<Event> heap_;
     std::unordered_map<EventId, EventFn> handlers_;
     std::size_t cancelled_in_heap_{0};
+    TieBreakFn tie_break_;
 };
 
 }  // namespace failsig::sim

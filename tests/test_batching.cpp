@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/batch.hpp"
+#include "common/rng.hpp"
 #include "deploy/deployment.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -46,6 +47,100 @@ TEST(BatchCodec, MalformedFramesAreRejected) {
     trailing.push_back(0x00);
     EXPECT_FALSE(Batch::decode(trailing).has_value());
     EXPECT_FALSE(Batch::decode(bytes_of("not a batch")).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Codec fuzzing (seeded corpus; the sanitizer CI job runs this under ASan,
+// so an over-read is a crash, not a silent pass)
+// ---------------------------------------------------------------------------
+
+/// decode() must return a value or an error on EVERY input — never throw,
+/// never read past the buffer. A poison allocation around the exact span
+/// gives ASan a red zone adjacent to the final byte.
+void expect_total_decode(const Bytes& input) {
+    const auto result = Batch::decode(input);
+    if (result.has_value()) {
+        // Whatever decoded must re-encode to the identical frame (decode is
+        // the inverse of encode on its accepting set).
+        EXPECT_EQ(Batch::encode(result.value()), input);
+    } else {
+        EXPECT_FALSE(result.error().message.empty());
+    }
+}
+
+TEST(BatchCodecFuzz, RandomGarbageNeverCrashesTheDecoder) {
+    Rng rng(0xba7c4f00d);
+    for (int round = 0; round < 2000; ++round) {
+        Bytes noise(rng.uniform(96), 0);
+        for (auto& byte : noise) byte = static_cast<std::uint8_t>(rng.uniform(256));
+        // Half the corpus gets the real magic spliced in so decoding
+        // proceeds past the first gate into count/length parsing.
+        if (noise.size() >= 4 && rng.chance(0.5)) {
+            const Bytes magic = Batch::encode({});
+            std::copy(magic.begin(), magic.begin() + 4, noise.begin());
+        }
+        expect_total_decode(noise);
+    }
+}
+
+TEST(BatchCodecFuzz, EveryTruncationOfAValidFrameDecodesToAnError) {
+    Rng rng(0x7255c47e);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<Bytes> requests(1 + rng.uniform(5));
+        for (auto& request : requests) {
+            request.resize(rng.uniform(40));
+            for (auto& byte : request) byte = static_cast<std::uint8_t>(rng.uniform(256));
+        }
+        const Bytes frame = Batch::encode(requests);
+        for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+            const Bytes truncated(frame.begin(),
+                                  frame.begin() + static_cast<std::ptrdiff_t>(cut));
+            EXPECT_FALSE(Batch::decode(truncated).has_value())
+                << "prefix of length " << cut << " of a " << frame.size()
+                << "-byte frame must not decode";
+        }
+        EXPECT_TRUE(Batch::decode(frame).has_value());
+    }
+}
+
+TEST(BatchCodecFuzz, OversizedCountAndLengthFieldsAreErrorsNotOverReads) {
+    const Bytes frame = Batch::encode({bytes_of("abc"), bytes_of("defg")});
+    // Bump the count field (bytes 4..8): the decoder must hit end-of-buffer
+    // while parsing the phantom request, not wander past the span.
+    Bytes oversized_count = frame;
+    oversized_count[4] = static_cast<std::uint8_t>(oversized_count[4] + 1);
+    EXPECT_FALSE(Batch::decode(oversized_count).has_value());
+    Bytes huge_count = frame;
+    huge_count[4] = 0xff;
+    huge_count[5] = 0xff;
+    huge_count[6] = 0xff;
+    huge_count[7] = 0x7f;
+    EXPECT_FALSE(Batch::decode(huge_count).has_value());
+    // Inflate the first request's length prefix (bytes 8..12) past the end.
+    Bytes oversized_len = frame;
+    oversized_len[8] = 0xff;
+    oversized_len[9] = 0xff;
+    EXPECT_FALSE(Batch::decode(oversized_len).has_value());
+    // Corrupt the magic: cheap rejection before any structure is parsed.
+    Bytes bad_magic = frame;
+    bad_magic[0] ^= 0x01;
+    EXPECT_FALSE(Batch::decode(bad_magic).has_value());
+    EXPECT_FALSE(Batch::is_batch(bad_magic));
+}
+
+TEST(BatchCodecFuzz, RandomMutationsOfValidFramesDecodeTotally) {
+    Rng rng(0x5eeded);
+    const Bytes frame =
+        Batch::encode({bytes_of("request-one"), bytes_of("r2"), Bytes(64, 0xab)});
+    for (int round = 0; round < 2000; ++round) {
+        Bytes mutated = frame;
+        const int flips = 1 + static_cast<int>(rng.uniform(4));
+        for (int f = 0; f < flips; ++f) {
+            const std::size_t at = rng.uniform(mutated.size());
+            mutated[at] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+        }
+        expect_total_decode(mutated);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -207,6 +207,68 @@ TEST_P(DeploymentConformance, CrashSilencesTheMemberWithoutStoppingTheGroup) {
     }
 }
 
+TEST_P(DeploymentConformance, CrashWithPendingUnflushedBatchKeepsValidityAccounting) {
+    // Requests buffered in the crashed member's Batcher — submitted but not
+    // yet flushed into an ordered unit at crash time — must not corrupt
+    // validity accounting: they may never surface at any healthy member
+    // (they were never multicast), and the healthy group's own traffic must
+    // keep flowing and agreeing.
+    const SystemKind kind = GetParam();
+    DeploymentSpec spec = spec_for(kind, true);
+    spec.batch.max_requests = 8;                      // far above what we submit
+    spec.batch.flush_after = 300 * kMillisecond;      // deadline lands after the crash
+    const auto d = make_deployment(kind, spec);
+    Observed seen(d->group_size());
+    d->attach(observers_into(seen));
+
+    const int victim = d->group_size() - 1;
+    const auto vid = static_cast<std::uint32_t>(victim);
+    // One flushed round of traffic from everyone first.
+    schedule_workload(*d, 0, 1, 0);
+    // Three requests buffered at the victim just before the crash: the size
+    // bound (8) is not reached and the 300 ms deadline is still pending when
+    // the host dies at 400 ms.
+    for (std::uint32_t k = 0; k < 3; ++k) {
+        d->sim().schedule_at(390 * kMillisecond, [&d, victim, vid, k] {
+            d->submit(victim, tagged_payload(vid, 100 + k));
+        });
+    }
+    d->sim().schedule_at(400 * kMillisecond, [&d, victim] { d->crash(victim); });
+    // Healthy traffic after the crash.
+    for (std::uint32_t k = 0; k < 2; ++k) {
+        d->sim().schedule_at(2 * kSecond + k * (80 * kMillisecond), [&d, k] {
+            d->submit(0, tagged_payload(0, 1 + k));
+        });
+    }
+    drive(*d, 8 * kSecond);
+
+    const BatchStats stats = d->batch_stats();
+    EXPECT_GE(stats.requests_submitted, static_cast<std::uint64_t>(d->group_size()) + 3 + 2);
+
+    std::vector<int> healthy;
+    for (int i = 0; i < d->group_size(); ++i) {
+        if (i != victim) healthy.push_back(i);
+    }
+    for (const int i : healthy) {
+        // The buffered requests were never flushed onto the wire before the
+        // host died: no healthy member may deliver them...
+        for (std::uint32_t k = 0; k < 3; ++k) {
+            EXPECT_FALSE(seen.member_got(i, {vid, 100 + k}))
+                << name_of(kind) << ": member " << i
+                << " delivered a request that never left the crashed batcher";
+        }
+        // ...while the healthy group's own traffic keeps flowing.
+        EXPECT_TRUE(seen.member_got(i, {0, 1}) && seen.member_got(i, {0, 2}))
+            << name_of(kind) << ": member " << i << " lost post-crash traffic";
+    }
+    // And the healthy members still agree on one delivery sequence.
+    for (const int i : healthy) {
+        EXPECT_EQ(seen.delivered[static_cast<std::size_t>(i)],
+                  seen.delivered[static_cast<std::size_t>(healthy.front())])
+            << name_of(kind) << " member " << i;
+    }
+}
+
 TEST_P(DeploymentConformance, CapabilityHooksReportTheirAbsenceInsteadOfActing) {
     const SystemKind kind = GetParam();
     const auto d = make_deployment(kind, spec_for(kind, false));

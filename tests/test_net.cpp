@@ -145,6 +145,23 @@ TEST(SimNetwork, LanLinksNeverRandomlyDrop) {
     EXPECT_EQ(delivered, 20);
 }
 
+TEST(SimNetwork, LoopbackNeverRandomlyDrops) {
+    // Same-node traffic is an in-process upcall, not an async link: a
+    // replica's "deliver" to its own application sink must survive any
+    // drop probability (a lost local delivery would wedge seq-holdback
+    // re-sequencers while the truncated stream still looked like a valid
+    // prefix).
+    Fixture f;
+    f.net.set_drop_probability(1.0);
+    int delivered = 0;
+    f.net.bind(ep(1, 9), [&](const Message&) { ++delivered; });
+    for (int i = 0; i < 20; ++i) {
+        f.net.send(ep(1), ep(1, 9), Bytes{});
+    }
+    f.sim.run();
+    EXPECT_EQ(delivered, 20);
+}
+
 TEST(SimNetwork, CorruptorCanMutatePayload) {
     Fixture f;
     Bytes got;

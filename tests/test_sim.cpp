@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -145,6 +146,83 @@ TEST(Simulation, InterleavedCancelAndFireStaysConsistent) {
         EXPECT_EQ(fired[k], static_cast<int>(2 * k + 1));
     }
     EXPECT_FALSE(sim.cancel(ids[1]));  // already fired
+}
+
+// --- tie-break policy seam ---------------------------------------------------
+
+TEST(Simulation, DefaultTieBreakIsFifoRegression) {
+    // Pins the historical contract the whole repo's byte-identical reports
+    // rest on: with no policy installed, same-timestamp events fire in
+    // schedule order — even when their scheduling interleaves with other
+    // timestamps. Guards the pluggable tie-break seam against silently
+    // changing the default.
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule_at(20, [&] { order.push_back(200); });
+    for (int i = 0; i < 8; ++i) {
+        sim.schedule_at(10, [&order, i] { order.push_back(i); });
+        sim.schedule_at(30, [&order, i] { order.push_back(300 + i); });
+    }
+    sim.schedule_at(10, [&] { order.push_back(8); });
+    sim.run();
+    std::vector<int> expected;
+    for (int i = 0; i <= 8; ++i) expected.push_back(i);
+    expected.push_back(200);
+    for (int i = 0; i < 8; ++i) expected.push_back(300 + i);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(Simulation, TieBreakPolicyPermutesEqualTimestampsOnly) {
+    // A reversing policy flips the order among equal times; distinct
+    // timestamps still fire in time order regardless of policy.
+    Simulation sim;
+    sim.set_tie_break([](Simulation::EventId id, TimePoint) { return ~id; });
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule_at(10, [&order, i] { order.push_back(i); });
+    }
+    sim.schedule_at(5, [&] { order.push_back(-1); });
+    sim.schedule_at(20, [&] { order.push_back(99); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, 4, 3, 2, 1, 0, 99}));
+}
+
+TEST(Simulation, TieBreakPolicyAppliesFromInstallationOnward) {
+    // Keys are assigned at scheduling time: events queued before the policy
+    // was installed keep their FIFO keys.
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+        sim.schedule_at(10, [&order, i] { order.push_back(i); });
+    }
+    sim.set_tie_break([](Simulation::EventId id, TimePoint) { return ~id; });
+    for (int i = 3; i < 6; ++i) {
+        sim.schedule_at(10, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    // Pre-policy events keep small FIFO keys (ids 1..3) and fire first, in
+    // order; post-policy events carry large reversed keys and fire reversed.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 5, 4, 3}));
+}
+
+TEST(Simulation, SeededTieBreakIsDeterministic) {
+    const auto run_with_seed = [](std::uint64_t seed) {
+        Simulation sim;
+        // The same keying the scenario runner installs for a non-zero
+        // Scenario::tie_break_seed.
+        sim.set_tie_break([seed](Simulation::EventId id, TimePoint) {
+            std::uint64_t state = seed ^ (id * 0x9e3779b97f4a7c15ULL);
+            return splitmix64(state);
+        });
+        std::vector<int> order;
+        for (int i = 0; i < 16; ++i) {
+            sim.schedule_at(10, [&order, i] { order.push_back(i); });
+        }
+        sim.run();
+        return order;
+    };
+    EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+    EXPECT_NE(run_with_seed(7), run_with_seed(8));
 }
 
 TEST(ThreadPool, SingleWorkerSerializesTasks) {
