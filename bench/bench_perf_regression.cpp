@@ -370,12 +370,70 @@ void bench_batching(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
                 round_ratio);
 }
 
+// ---------------------------------------------------------------------------
+// Observability: disabled-instrumentation overhead and span-stage counters
+// ---------------------------------------------------------------------------
+
+void bench_obs(scenario::JsonWriter& w, bool smoke, std::uint64_t seed,
+               const std::string& metrics_out) {
+    // Pinned cell: FS-NewTOP at n=4 — the stack that exercises every span
+    // stage plus the crypto and holdback instruments. The gated facts are
+    // counters: the canonical trace must be byte-identical with obs on and
+    // off (stamps are recording-only), and the span-stage counts are pure
+    // functions of the cell. The wall-clock pair (obs off vs on) stays
+    // informational, but it is what "disabled tracing costs ~one branch"
+    // looks like on a real machine.
+    scenario::Scenario cell;
+    cell.name = "obs/FS-NewTOP/n4";
+    cell.system = scenario::SystemKind::kFsNewTop;
+    cell.group_size = 4;
+    cell.seed = scenario::derive_cell_seed(seed, scenario::SystemKind::kFsNewTop, 4);
+    cell.workload.msgs_per_member = smoke ? 10 : 30;
+    cell.workload.payload_size = 64;
+
+    const double off_start = now_ms();
+    const auto off = scenario::run_scenario(cell);
+    const double off_ms = now_ms() - off_start;
+
+    scenario::Scenario traced = cell;
+    traced.obs.enabled = true;
+    const double on_start = now_ms();
+    const auto on = scenario::run_scenario(traced);
+    const double on_ms = now_ms() - on_start;
+
+    const bool trace_identical = off.trace.canonical() == on.trace.canonical();
+
+    w.key("obs");
+    w.begin_object();
+    w.field("cell", cell.name);
+    w.field("trace_identical_with_obs", trace_identical);
+    w.field("all_invariants_passed", on.all_invariants_passed());
+    w.key("span_stage_counters");
+    w.begin_object();
+    for (const auto& [name, value] : on.obs_counters) {
+        if (name.rfind("span.stage.", 0) == 0) w.field(name, value);
+    }
+    w.end_object();
+    w.field("wall_ms_obs_off", off_ms);
+    w.field("wall_ms_obs_on", on_ms);
+    w.end_object();
+    std::printf("obs: trace identical with tracing %s | obs-off %.0f ms, obs-on %.0f ms\n",
+                trace_identical ? "yes" : "NO (REGRESSION)", off_ms, on_ms);
+
+    if (!metrics_out.empty()) {
+        if (scenario::write_file(metrics_out, on.metrics_json + "\n")) {
+            std::printf("obs: metrics snapshot written to %s\n", metrics_out.c_str());
+        }
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool smoke = false;
     std::uint64_t seed = 42;
     std::string out_path = "BENCH_PR4.json";
+    std::string metrics_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -384,8 +442,12 @@ int main(int argc, char** argv) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
         } else if (arg == "--help") {
-            std::printf("usage: bench_perf_regression [--smoke] [--seed N] [--out PATH]\n");
+            std::printf("usage: bench_perf_regression [--smoke] [--seed N] [--out PATH]\n"
+                        "       [--metrics-out PATH]  write the obs cell's\n"
+                        "       failsig-metrics-v1 snapshot to PATH\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -406,6 +468,7 @@ int main(int argc, char** argv) {
     bench_message_plane(w, smoke, seed);
     bench_sweep_cells(w, smoke, seed);
     bench_batching(w, smoke, seed);
+    bench_obs(w, smoke, seed, metrics_out);
     w.end_object();
 
     if (!scenario::write_file(out_path, w.take() + "\n")) return 1;

@@ -38,6 +38,11 @@ TIMING_KEYS = {
     "envelope_verify_cold_ms",
     "envelope_verify_memo_ops_s",
     "envelope_chain12_sign_ops_s",
+    # The obs section's disabled/enabled wall-clock pair: what tracing costs
+    # on a real machine is informational; the gated obs facts are the
+    # trace-identical bool and the span-stage counters.
+    "wall_ms_obs_off",
+    "wall_ms_obs_on",
 }
 
 # Floors the batching section must clear regardless of the baseline (the

@@ -18,6 +18,7 @@
 //
 // Everything is deterministic: same flags → byte-identical report at any
 // --jobs value.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +52,11 @@ void usage(const char* prog) {
         "  --jobs N                 worker threads (default hardware)\n"
         "  --out PATH               write the JSON report\n"
         "  --repro-dir DIR          write minimal reproducer .scenario files\n"
+        "                           (plus .trace evidence and .flight\n"
+        "                           flight-recorder dumps)\n"
+        "  --progress N             heartbeat on stderr every N episodes\n"
+        "                           (episodes done, episodes/sec, violations);\n"
+        "                           the report stays byte-identical\n"
         "  --no-shrink              report violations without minimizing\n"
         "  --unsound-suspectors     add NewTOP timeout suspectors to the grammar\n"
         "                           (explores the paper's known false-suspicion\n"
@@ -157,6 +163,7 @@ int main(int argc, char** argv) {
     std::string repro_dir;
     std::string replay_path;
     bool dump_trace = false;
+    int progress_every = 0;
 
     // Presets apply FIRST, regardless of where --budget sits on the command
     // line, so `--episodes 200 --budget nightly` means "nightly, but 200
@@ -276,6 +283,11 @@ int main(int argc, char** argv) {
             out_path = value();
         } else if (arg == "--repro-dir") {
             repro_dir = value();
+        } else if (arg == "--progress") {
+            if (!parse_count_arg(value(), 1000000, progress_every)) {
+                std::fprintf(stderr, "explore: bad --progress (want 1..1000000)\n");
+                return 1;
+            }
         } else if (arg == "--no-shrink") {
             config.shrink = false;
         } else if (arg == "--unsound-suspectors") {
@@ -307,6 +319,23 @@ int main(int argc, char** argv) {
                 cells, config.episodes_per_cell,
                 static_cast<unsigned long long>(config.seed));
 
+    if (progress_every > 0) {
+        // Heartbeat on stderr (stdout stays machine-parseable): episodes
+        // done, wall-clock rate, violations so far. Long nightly budgets
+        // are otherwise silent for minutes at a time.
+        const auto started = std::chrono::steady_clock::now();
+        config.progress_every = progress_every;
+        config.progress = [started](std::size_t done, std::size_t total,
+                                    std::size_t violated) {
+            const double secs =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                    .count();
+            const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+            std::fprintf(stderr, "explore: %zu/%zu episodes, %.1f episodes/s, %zu violation(s)\n",
+                         done, total, rate, violated);
+        };
+    }
+
     const auto report = explore::explore(config);
 
     std::size_t violated = 0;
@@ -330,9 +359,13 @@ int main(int argc, char** argv) {
                 std::printf("reproducer written to %s\n", path.c_str());
             }
             // The evidence next to the claim: the canonical trace of the
-            // minimal run, for diffing against a replay.
+            // minimal run, for diffing against a replay, and the flight
+            // recorder's per-node timeline at the moment of violation.
             if (!v.minimal_trace.empty()) {
                 scenario::write_file(path + ".trace", v.minimal_trace);
+            }
+            if (!v.flight_dump.empty()) {
+                scenario::write_file(path + ".flight", v.flight_dump);
             }
         }
     }

@@ -198,9 +198,16 @@ int main(int argc, char** argv) {
     if (cli.error) return 1;
     const std::uint64_t seed = cli.seed_set ? cli.seed : 7;
 
-    const auto campaigns = build_campaigns(seed);
+    auto campaigns = build_campaigns(seed);
     std::printf("failsig scenario runner — %zu campaigns, seed %llu\n\n", campaigns.size(),
                 static_cast<unsigned long long>(seed));
+
+    // --metrics-out turns observability on for every campaign. The report
+    // bytes are unaffected (obs artifacts live outside to_json/to_csv).
+    const bool obs_enabled = !cli.metrics_out_path.empty();
+    if (obs_enabled) {
+        for (auto& entry : campaigns) entry.scenario.obs.enabled = true;
+    }
 
     // Campaigns own independent simulations, so they run on a worker pool
     // (--jobs, default hardware concurrency); reports keep campaign order.
@@ -221,6 +228,21 @@ int main(int argc, char** argv) {
                     std::printf("  FAIL %s: %s\n", inv.name.c_str(), inv.detail.c_str());
                 }
             }
+            // Forensics for the unexpected outcome: deterministically re-run
+            // that one campaign with the flight recorder on and dump each
+            // node's recent timeline next to the report. Expected failures
+            // (newtop/delay-surge) are documentation, not incidents — they
+            // get no dump, so CI artifacts stay quiet on green runs.
+            Scenario forensic = entry.scenario;
+            forensic.obs.enabled = true;
+            const auto rerun = scenario::run_scenario(forensic);
+            std::string dump_path = entry.scenario.name + ".flight";
+            for (auto& c : dump_path) {
+                if (c == '/') c = '_';
+            }
+            if (scenario::write_file(dump_path, rerun.flight_dump)) {
+                std::printf("  flight-recorder dump written to %s\n", dump_path.c_str());
+            }
         }
     }
 
@@ -234,6 +256,13 @@ int main(int argc, char** argv) {
     const std::string out = cli.out_path.empty() ? "scenario_report.json" : cli.out_path;
     if (!scenario::write_file(out, scenario::to_json(reports))) return 1;
     std::printf("\nreport written to %s\n", out.c_str());
+
+    if (obs_enabled) {
+        if (!scenario::write_file(cli.metrics_out_path, scenario::metrics_document(reports))) {
+            return 1;
+        }
+        std::printf("metrics written to %s\n", cli.metrics_out_path.c_str());
+    }
 
     if (mismatches > 0) {
         std::printf("%d campaign(s) deviated from their expected invariant outcome\n",

@@ -95,6 +95,10 @@ private:
     void upcall(const PbftDelivery& d) {
         owner_.delivered_[replica_].push_back(std::to_string(d.request.origin) + ":" +
                                               string_of(d.request.payload));
+        if (owner_.obs_ != nullptr) {
+            owner_.obs_->span(obs::Stage::kDelivered, d.request.payload,
+                              static_cast<int>(replica_));
+        }
         if (owner_.delivery_observer_) owner_.delivery_observer_(replica_, d);
     }
 
@@ -107,7 +111,8 @@ private:
 
 PbftDeployment::PbftDeployment(const PbftOptions& options)
     : net_(sim_, Rng(options.seed), options.net_params),
-      domain_(sim_, net_, options.costs, options.threads_per_node) {
+      domain_(sim_, net_, options.costs, options.threads_per_node),
+      obs_(options.obs) {
     const std::uint32_t n = options.replicas;
     ensure(n >= 4, "PbftDeployment: need at least 4 replicas");
 
@@ -132,12 +137,17 @@ PbftDeployment::PbftDeployment(const PbftOptions& options)
         }
         cfg.delivery = fs::Destination::plain(sinks_.back()->ref());
         cfg.protocol_op_cost = options.costs.gc_protocol_op;
+        cfg.obs = options.obs;
+        cfg.obs_member = static_cast<int>(i);
 
         replicas_.push_back(
             std::make_unique<PbftServant>(*orbs[i], "pbft", std::make_unique<PbftReplica>(cfg)));
         batchers_.push_back(std::make_unique<Batcher>(
             options.batch,
-            [this, i](Bytes unit, std::size_t) { submit_unit(i, std::move(unit)); },
+            [this, i](Bytes unit, std::size_t) {
+                if (obs_ != nullptr) trace_flush(i, unit);
+                submit_unit(i, std::move(unit));
+            },
             [this](Duration delay, std::function<void()> fn) {
                 sim_.schedule_after(delay, std::move(fn));
             }));
@@ -147,10 +157,25 @@ PbftDeployment::PbftDeployment(const PbftOptions& options)
 PbftDeployment::~PbftDeployment() = default;
 
 void PbftDeployment::submit(ReplicaId at, Bytes payload) {
+    if (obs_ != nullptr) obs_->span(obs::Stage::kSubmit, payload, static_cast<int>(at));
     batchers_[at]->submit(std::move(payload));
 }
 
+void PbftDeployment::trace_flush(ReplicaId at, const Bytes& unit) {
+    const int member = static_cast<int>(at);
+    if (Batch::is_batch(unit)) {
+        if (auto requests = Batch::decode(unit); requests.has_value()) {
+            for (const auto& request : requests.value()) {
+                obs_->span_link(unit, request, member);
+            }
+            return;
+        }
+    }
+    obs_->span_link(unit, unit, member);  // passthrough: unit == request
+}
+
 void PbftDeployment::submit_unit(ReplicaId at, Bytes unit) {
+    if (obs_ != nullptr) obs_->span(obs::Stage::kEncoded, unit, static_cast<int>(at));
     ClientRequest req;
     req.origin = at;
     req.origin_seq = next_origin_seq_[at]++;

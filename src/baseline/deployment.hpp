@@ -22,6 +22,9 @@ struct PbftOptions {
     /// Request batching on the submit path: one ClientRequest — hence one
     /// pre-prepare and one three-phase exchange — per batch of b requests.
     BatchConfig batch{};
+    /// Per-run observability context (nullptr = off); threaded into the
+    /// submit path, replica 0's protocol stamps, and the delivery sinks.
+    obs::Obs* obs{nullptr};
 };
 
 /// Hosts one PbftReplica as an ORB servant with serialized execution and
@@ -89,6 +92,9 @@ private:
     class DeliverySink;
 
     void submit_unit(ReplicaId at, Bytes unit);
+    /// Stamps kBatched for every request a flushed unit carries and links
+    /// them to the unit's span (only called when obs is on).
+    void trace_flush(ReplicaId at, const Bytes& unit);
 
     sim::Simulation sim_;
     net::SimNetwork net_;
@@ -99,6 +105,7 @@ private:
     std::vector<std::vector<std::string>> delivered_;
     std::vector<std::uint64_t> next_origin_seq_;
     DeliveryObserver delivery_observer_;
+    obs::Obs* obs_{nullptr};
 };
 
 }  // namespace failsig::baseline

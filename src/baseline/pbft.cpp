@@ -145,6 +145,11 @@ void PbftReplica::on_request(const ClientRequest& request, Out& out) {
 }
 
 void PbftReplica::assign_and_prepreprepare(const ClientRequest& request, Out& out) {
+    // The primary hands the ordered unit's pre-prepare to the network — the
+    // span's net-send stage.
+    if (cfg_.obs != nullptr) {
+        cfg_.obs->span(obs::Stage::kNetSend, request.payload, cfg_.obs_member);
+    }
     const std::uint64_t seq = next_assign_++;
     PbftMessage pp;
     pp.kind = PbftKind::kPrePrepare;
@@ -179,6 +184,11 @@ void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
                 return;
             }
             if (msg.view != view_) return;
+            // A primary pre-prepare carrying the ordered unit = the span's
+            // receive stage (prepare/commit rounds are protocol-internal).
+            if (cfg_.obs != nullptr) {
+                cfg_.obs->span(obs::Stage::kReceive, msg.request.payload, cfg_.obs_member);
+            }
             Slot& slot = slots_[msg.seq];
             if (slot.pre_prepared && slot.digest != msg.digest) return;  // equivocation
             slot.pre_prepared = true;
@@ -318,6 +328,9 @@ void PbftReplica::try_deliver(Out& out) {
 
 void PbftReplica::deliver(std::uint64_t seq, const ClientRequest& request, Out& out) {
     ++delivered_count_;
+    if (cfg_.obs != nullptr) {
+        cfg_.obs->span(obs::Stage::kOrdered, request.payload, cfg_.obs_member);
+    }
     // Retire the request from the pending backlog (it is now ordered).
     std::erase_if(pending_, [&](const ClientRequest& r) {
         return r.origin == request.origin && r.origin_seq == request.origin_seq;

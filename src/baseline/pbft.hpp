@@ -21,6 +21,7 @@
 #include <set>
 
 #include "fs/service.hpp"
+#include "obs/obs.hpp"
 #include "orb/request.hpp"
 
 namespace failsig::baseline {
@@ -66,6 +67,11 @@ struct PbftConfig {
     std::map<ReplicaId, fs::Destination> peers;
     fs::Destination delivery;
     Duration protocol_op_cost{120 * kMicrosecond};
+    /// Observability context (nullptr = off); write-only side channel, the
+    /// state machine stays deterministic either way.
+    obs::Obs* obs{nullptr};
+    /// Member label for this replica's flight-recorder events.
+    int obs_member{-1};
 };
 
 /// What a replica hands to the application on commit.

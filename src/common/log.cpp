@@ -26,12 +26,11 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void log_line(LogLevel level, const std::string& component, const std::string& message) {
-    if (level < log_level()) return;
+void log_line(LogLevel level, const char* component, const std::string& message) {
     // One insertion per record: concurrent sweep workers must not interleave
     // fragments of each other's lines.
     std::string line;
-    line.reserve(component.size() + message.size() + 16);
+    line.reserve(message.size() + 32);
     line += "[";
     line += level_name(level);
     line += "] ";
@@ -40,10 +39,6 @@ void log_line(LogLevel level, const std::string& component, const std::string& m
     line += message;
     line += "\n";
     std::cerr << line;
-}
-
-LogStream::~LogStream() {
-    if (level_ >= log_level()) log_line(level_, component_, ss_.str());
 }
 
 }  // namespace failsig

@@ -1,9 +1,33 @@
 // Tiny leveled logger. Off by default so tests and benches stay quiet;
 // examples turn it on to narrate what the protocols are doing.
+//
+// Call sites go through FAILSIG_LOG(level, COMPONENT): the macro folds a
+// per-component compile-time floor and performs ONE branch-predicted check
+// of the global threshold before any stream machinery exists — with logging
+// off (the default, and the hot-path common case) a log statement costs a
+// single relaxed atomic load and a not-taken branch. Only when the check
+// passes is a LogStream constructed (ostringstream and all); the component
+// travels as a const char* literal, never copied, and the enabled decision
+// is made once per statement, not re-read per insertion.
+//
+//     FAILSIG_LOG(failsig::LogLevel::kDebug, GC) << "suspecting " << m;
+//
+// Components are registered below (FAILSIG_LOG_COMP_* name string +
+// FAILSIG_LOG_MIN_* compile-time floor). Raising a floor at build time
+// (-DFAILSIG_LOG_MIN_GC=failsig::LogLevel::kWarn) dead-codes every
+// statement below it for that component.
 #pragma once
 
 #include <sstream>
 #include <string>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FAILSIG_LIKELY(x) __builtin_expect(!!(x), 1)
+#define FAILSIG_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define FAILSIG_LIKELY(x) (x)
+#define FAILSIG_UNLIKELY(x) (x)
+#endif
 
 namespace failsig {
 
@@ -13,26 +37,69 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Writes one line to stderr if `level` passes the threshold.
-void log_line(LogLevel level, const std::string& component, const std::string& message);
+/// Writes one line to stderr unconditionally; callers gate first.
+void log_line(LogLevel level, const char* component, const std::string& message);
 
-/// Stream-style helper: LogStream(LogLevel::kInfo, "fso")() << "hello";
+/// The runtime half of the FAILSIG_LOG gate: true when `level` clears the
+/// global threshold. Logging is off by default, so the branch is annotated
+/// unlikely-taken.
+inline bool log_enabled(LogLevel level) {
+    return FAILSIG_UNLIKELY(level >= log_level());
+}
+
+/// Stream-style sink; construct only after the gate passed (FAILSIG_LOG
+/// does). Holds the component as a borrowed literal and flushes one line
+/// at destruction.
 class LogStream {
 public:
-    LogStream(LogLevel level, std::string component)
-        : level_(level), component_(std::move(component)) {}
-    ~LogStream();
+    LogStream(LogLevel level, const char* component)
+        : level_(level), component_(component) {}
+    ~LogStream() { log_line(level_, component_, ss_.str()); }
 
     template <typename T>
     LogStream& operator<<(const T& v) {
-        if (level_ >= log_level()) ss_ << v;
+        ss_ << v;
         return *this;
     }
 
 private:
     LogLevel level_;
-    std::string component_;
+    const char* component_;
     std::ostringstream ss_;
 };
 
+/// glog-style void-swallower: gives the enabled branch of FAILSIG_LOG's
+/// conditional the same (void) type as the disabled branch, keeping the
+/// macro a single expression that is safe under a dangling else.
+struct LogVoidify {
+    void operator&(LogStream&) {}
+};
+
 }  // namespace failsig
+
+// --- component registry -----------------------------------------------------
+// Name string + compile-time minimum level per component. Floors default to
+// kTrace (everything eligible; the runtime threshold decides); override on
+// the compiler command line to dead-code a component's chatter.
+#define FAILSIG_LOG_COMP_ORB "orb"
+#define FAILSIG_LOG_COMP_GC "gc"
+#define FAILSIG_LOG_COMP_FSO "fso"
+
+#ifndef FAILSIG_LOG_MIN_ORB
+#define FAILSIG_LOG_MIN_ORB failsig::LogLevel::kTrace
+#endif
+#ifndef FAILSIG_LOG_MIN_GC
+#define FAILSIG_LOG_MIN_GC failsig::LogLevel::kTrace
+#endif
+#ifndef FAILSIG_LOG_MIN_FSO
+#define FAILSIG_LOG_MIN_FSO failsig::LogLevel::kTrace
+#endif
+
+/// One log statement. The component-floor comparison is between constants
+/// and folds at compile time; past it, the global threshold is checked
+/// exactly once before any stream object exists.
+#define FAILSIG_LOG(level, comp)                                        \
+    !((level) >= FAILSIG_LOG_MIN_##comp && failsig::log_enabled(level)) \
+        ? (void)0                                                       \
+        : failsig::LogVoidify() &                                       \
+              failsig::LogStream((level), FAILSIG_LOG_COMP_##comp)

@@ -23,6 +23,7 @@
 #include "net/network.hpp"
 #include "newtop/suspector.hpp"
 #include "newtop/types.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace failsig::deploy {
@@ -52,6 +53,12 @@ struct DeploymentSpec {
     // FS-NewTOP only.
     fsnewtop::Placement placement{fsnewtop::Placement::kCollocated};
     fs::FsConfig fs_config{};
+
+    /// Per-run observability context (metrics + spans + flight recorder);
+    /// nullptr = tracing off. Owned by the caller (run_scenario); the
+    /// deployment binds it to its Simulation and threads the pointer into
+    /// the stacks' lifecycle hooks.
+    obs::Obs* obs{nullptr};
 };
 
 /// Application-level observers a caller attaches before the run. Deployments

@@ -10,11 +10,14 @@ fsnewtop::FsNewTopOptions FsNewTopDeployment::make_options(const DeploymentSpec&
     opts.placement = spec.placement;
     opts.fs_config = spec.fs_config;
     opts.batch = spec.batch;
+    opts.obs = spec.obs;
     return opts;
 }
 
 FsNewTopDeployment::FsNewTopDeployment(const DeploymentSpec& spec)
-    : inner_(make_options(spec)), service_(spec.service) {}
+    : inner_(make_options(spec)), service_(spec.service) {
+    if (spec.obs != nullptr) spec.obs->bind(&inner_.sim());
+}
 
 std::vector<NodeId> FsNewTopDeployment::nodes_of(int member) const {
     if (inner_.placement() == fsnewtop::Placement::kFull) {

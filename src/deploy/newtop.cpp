@@ -10,11 +10,15 @@ newtop::NewTopOptions NewTopDeployment::make_options(const DeploymentSpec& spec)
     opts.start_suspectors = spec.start_suspectors;
     opts.suspector = spec.suspector;
     opts.batch = spec.batch;
+    opts.obs = spec.obs;
     return opts;
 }
 
 NewTopDeployment::NewTopDeployment(const DeploymentSpec& spec)
-    : inner_(make_options(spec)), service_(spec.service) {}
+    : inner_(make_options(spec)), service_(spec.service) {
+    // Stamps read now() lazily, so binding after inner construction is safe.
+    if (spec.obs != nullptr) spec.obs->bind(&inner_.sim());
+}
 
 void NewTopDeployment::attach(Observers observers) {
     observers_ = std::move(observers);

@@ -8,10 +8,13 @@ baseline::PbftOptions PbftDeployment::make_options(const DeploymentSpec& spec) {
     opts.threads_per_node = spec.threads_per_node;
     opts.seed = spec.seed;
     opts.batch = spec.batch;
+    opts.obs = spec.obs;
     return opts;
 }
 
-PbftDeployment::PbftDeployment(const DeploymentSpec& spec) : inner_(make_options(spec)) {}
+PbftDeployment::PbftDeployment(const DeploymentSpec& spec) : inner_(make_options(spec)) {
+    if (spec.obs != nullptr) spec.obs->bind(&inner_.sim());
+}
 
 void PbftDeployment::attach(Observers observers) {
     observers_ = std::move(observers);

@@ -230,25 +230,39 @@ ExploreReport explore(const ExploreConfig& config) {
         }
     }
 
-    const auto runs = scenario::run_scenarios(episodes, config.jobs);
-    report.episodes.reserve(runs.size());
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        EpisodeOutcome outcome;
-        outcome.scenario = episodes[i];
-        outcome.invariants = config.checkers.empty()
-                                 ? runs[i].invariants
-                                 : scenario::evaluate(runs[i].scenario, runs[i].trace,
-                                                      config.checkers);
-        for (const auto& inv : outcome.invariants) {
-            if (!inv.passed) {
-                outcome.violated = true;
-                outcome.violated_invariant = inv.name;
-                break;
+    // Heartbeat mode chunks the fan-out so the callback fires on cadence;
+    // episodes are independent pure functions, so chunking (like the job
+    // count) cannot change a single report byte.
+    const bool heartbeat = config.progress_every > 0 && config.progress;
+    const std::size_t chunk =
+        heartbeat ? static_cast<std::size_t>(config.progress_every) : episodes.size();
+    report.episodes.reserve(episodes.size());
+    std::size_t violated_count = 0;
+    for (std::size_t start = 0; start < episodes.size(); start += chunk) {
+        const std::size_t end = std::min(episodes.size(), start + chunk);
+        const std::vector<Scenario> slice(episodes.begin() + static_cast<std::ptrdiff_t>(start),
+                                          episodes.begin() + static_cast<std::ptrdiff_t>(end));
+        const auto runs = scenario::run_scenarios(slice, config.jobs);
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            EpisodeOutcome outcome;
+            outcome.scenario = episodes[start + i];
+            outcome.invariants = config.checkers.empty()
+                                     ? runs[i].invariants
+                                     : scenario::evaluate(runs[i].scenario, runs[i].trace,
+                                                          config.checkers);
+            for (const auto& inv : outcome.invariants) {
+                if (!inv.passed) {
+                    outcome.violated = true;
+                    outcome.violated_invariant = inv.name;
+                    break;
+                }
             }
+            if (outcome.violated) ++violated_count;
+            outcome.trace_events = runs[i].trace.size();
+            outcome.trace_hash = fnv1a(runs[i].trace.canonical());
+            report.episodes.push_back(std::move(outcome));
         }
-        outcome.trace_events = runs[i].trace.size();
-        outcome.trace_hash = fnv1a(runs[i].trace.canonical());
-        report.episodes.push_back(std::move(outcome));
+        if (heartbeat) config.progress(end, episodes.size(), violated_count);
     }
 
     // Violations shrink serially, in episode order (the shrinker re-runs
@@ -272,6 +286,12 @@ ExploreReport explore(const ExploreConfig& config) {
         }
         record.minimal_events = static_cast<int>(record.minimal.timeline.size());
         record.spec = to_spec(record.minimal, outcome.violated_invariant);
+        // Forensics beside the reproducer: re-run the minimal scenario with
+        // the flight recorder on (deterministic — same trace, now with each
+        // node's recent timeline captured) and attach the dump.
+        Scenario forensic = record.minimal;
+        forensic.obs.enabled = true;
+        record.flight_dump = scenario::run_scenario(forensic).flight_dump;
         report.violations.push_back(std::move(record));
     }
     return report;

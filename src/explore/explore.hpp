@@ -32,6 +32,8 @@
 // deliberately exploring known-unsound territory.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -97,6 +99,12 @@ struct ExploreConfig {
     /// deliberately weakened checkers here to exercise the shrinker
     /// pipeline end-to-end.
     std::vector<const scenario::Invariant*> checkers;
+    /// Heartbeat: call `progress` after every `progress_every` completed
+    /// episodes (and once at the end). 0 or an empty callback = off. The
+    /// fan-out is chunked to honour the cadence, but episodes are
+    /// independent pure functions, so the report stays byte-identical.
+    int progress_every{0};
+    std::function<void(std::size_t done, std::size_t total, std::size_t violated)> progress;
 };
 
 struct EpisodeOutcome {
@@ -122,6 +130,12 @@ struct ViolationRecord {
     std::string spec;
     /// Canonical trace of the minimal scenario's run.
     std::string minimal_trace;
+    /// Flight-recorder dump from a deterministic obs-enabled re-run of the
+    /// minimal scenario: each node's recent event timeline at the moment
+    /// the violation fired. Forensic evidence beside the reproducer —
+    /// excluded from to_json (the report stays trace-hash sized);
+    /// explore_cli writes it to `<repro>.flight`.
+    std::string flight_dump;
     int original_events{0};
     int minimal_events{0};
     int oracle_runs{0};

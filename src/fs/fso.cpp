@@ -49,7 +49,9 @@ Fso::Fso(FsRuntime& rt, std::string name, FsoRole role, orb::Orb& orb, Endpoint 
             // of pending signature computations: the τ term of the §2.2
             // timeout already accounts for the *peer's* signing backlog, so
             // the match must not queue behind ours a second time.
-            const Duration cost = kBookkeepingCost + costs_.verify(shared->payload().size());
+            const Duration verify_cost = costs_.verify(shared->payload().size());
+            if (rt_.obs != nullptr) rt_.obs->crypto_verify(verify_cost);
+            const Duration cost = kBookkeepingCost + verify_cost;
             compare_pool_->submit_priority(cost, [this, shared] { handle_single(*shared); });
         }
     });
@@ -99,7 +101,9 @@ void Fso::dispatch(const orb::Request& request) {
     // charge it on the Order thread, then run the ordering logic.
     Duration cost = kBookkeepingCost;
     for (std::size_t i = 0; i < shared->signatures().size(); ++i) {
-        cost += costs_.verify(shared->payload().size());
+        const Duration verify_cost = costs_.verify(shared->payload().size());
+        if (rt_.obs != nullptr) rt_.obs->crypto_verify(verify_cost);
+        cost += verify_cost;
     }
     order_pool_->submit(cost, [this, shared] { handle_receive_new(*shared); });
 }
@@ -344,6 +348,7 @@ void Fso::emit_output(FsOutput record, Duration pi) {
     // Compare-thread backlog, and the wait timer is armed only once the
     // single-signed copy has actually left.
     const TimePoint produced_at = rt_.sim.now();
+    if (rt_.obs != nullptr) rt_.obs->crypto_sign(costs_.sign(encoded.size()));
     compare_pool_->submit(
         costs_.sign(encoded.size()), [this, id, pi, produced_at, encoded = std::move(encoded)] {
             if (signalling_ || !peer_set_) return;
@@ -401,6 +406,7 @@ void Fso::try_match(const OutputId& id) {
 
     // Countersign the counterpart-signed copy — the transmitted output then
     // bears both signatures, first the counterpart's, then ours.
+    if (rt_.obs != nullptr) rt_.obs->crypto_sign(costs_.sign(env.payload().size()));
     compare_pool_->submit(costs_.sign(env.payload().size()), [this, id, env]() mutable {
         const auto it = icmp_.find(id);
         if (it == icmp_.end()) return;
@@ -439,7 +445,7 @@ const Bytes& Fso::fail_signal_wire() {
 void Fso::start_signalling(const std::string& reason) {
     if (signalling_) return;
     signalling_ = true;
-    LogStream(LogLevel::kInfo, "fso") << principal_ << " starts fail-signalling: " << reason;
+    FAILSIG_LOG(LogLevel::kInfo, FSO) << principal_ << " starts fail-signalling: " << reason;
     if (fail_signal_observer_) fail_signal_observer_(name_, reason);
 
     // Every entity expecting a response gets the fail-signal.

@@ -36,6 +36,7 @@
 #include "fs/service.hpp"
 #include "fs/wire.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "orb/orb.hpp"
 
 namespace failsig::fs {
@@ -80,6 +81,10 @@ struct FsRuntime {
     orb::OrbDomain& domain;
     crypto::KeyService& keys;
     FsDirectory& directory;
+    /// Observability context (nullptr = off): wrapper objects attribute
+    /// their simulated sign/verify time here. Trailing default keeps the
+    /// existing five-field aggregate initializers valid.
+    obs::Obs* obs{nullptr};
 };
 
 class Fso final : public orb::Servant {

@@ -6,7 +6,7 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
     : net_(sim_, Rng(options.seed), options.net_params),
       domain_(sim_, net_, options.costs, options.threads_per_node),
       keys_(options.crypto_backend, 512, options.seed ^ 0x6b657973u),
-      host_(fs::FsRuntime{sim_, net_, domain_, keys_, directory_}),
+      host_(fs::FsRuntime{sim_, net_, domain_, keys_, directory_, options.obs}),
       placement_(options.placement) {
     const int n = options.group_size;
     ensure(n >= 1, "FsNewTopDeployment: group_size must be >= 1");
@@ -40,6 +40,7 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
         orb::Orb& app_orb = domain_.create_orb(app_node(i));
         member.invocation = std::make_unique<FsInvocation>(
             host_.runtime(), app_orb, "inv:" + std::to_string(i), gc_name(i));
+        member.invocation->set_obs(options.obs, i);
         member.invocation->configure_batching(sim_, options.batch);
     }
 
@@ -56,10 +57,22 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
         cfg.delivery = fs::Destination::plain(
             members_[static_cast<std::size_t>(i)].invocation->delivery_ref());
         cfg.protocol_op_cost = options.costs.gc_protocol_op;
+        cfg.obs = options.obs;
+        cfg.obs_member = i;
 
+        // The factory runs twice — leader replica first, then the follower
+        // (fs/process.cpp construction order). Only the leader gets the obs
+        // tap: both replicas execute the same inputs, and stamping both
+        // would double-count every lifecycle stage.
+        auto replica_calls = std::make_shared<int>(0);
         members_[static_cast<std::size_t>(i)].handles = host_.create_process(
             gc_name(i), leader_node(i), follower_node(i),
-            [cfg] { return std::make_unique<newtop::GcService>(cfg); }, options.fs_config);
+            [cfg, replica_calls] {
+                newtop::GcConfig replica_cfg = cfg;
+                if ((*replica_calls)++ != 0) replica_cfg.obs = nullptr;
+                return std::make_unique<newtop::GcService>(replica_cfg);
+            },
+            options.fs_config);
     }
 }
 

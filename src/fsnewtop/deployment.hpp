@@ -36,6 +36,11 @@ struct FsNewTopOptions {
     /// Request batching on every member's Invocation submit path: one signed
     /// envelope (and one FS protocol round) per batch instead of per request.
     BatchConfig batch{};
+    /// Per-run observability context (nullptr = off). Threaded into the
+    /// Invocation layers, the wrapper objects' crypto attribution, and the
+    /// pair's LEADER GC replica only (replicated execution must not
+    /// double-count lifecycle stamps).
+    obs::Obs* obs{nullptr};
 };
 
 class FsNewTopDeployment {

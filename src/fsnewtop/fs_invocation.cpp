@@ -17,6 +17,7 @@ FsInvocation::FsInvocation(fs::FsRuntime& rt, orb::Orb& orb, const std::string& 
 }
 
 void FsInvocation::do_multicast(newtop::ServiceType service, Bytes payload) {
+    if (obs_ != nullptr) obs_->span(obs::Stage::kEncoded, payload, obs_member_);
     newtop::MulticastRequest req;
     req.service = service;
     req.payload = std::move(payload);

@@ -36,9 +36,12 @@ NewTopDeployment::NewTopDeployment(const NewTopOptions& options)
         }
         cfg.delivery = fs::Destination::plain(orb::ObjectRef{orb.endpoint(), "inv"});
         cfg.protocol_op_cost = options.costs.gc_protocol_op;
+        cfg.obs = options.obs;
+        cfg.obs_member = i;
 
         member.gc = std::make_unique<GcServant>(orb, "gc", std::make_unique<GcService>(cfg));
         member.invocation = std::make_unique<PlainInvocation>(orb, "inv", *member.gc);
+        member.invocation->set_obs(options.obs, i);
         member.invocation->configure_batching(sim_, options.batch);
         member.suspector = std::make_unique<PingSuspector>(
             sim_, orb, "susp", static_cast<MemberId>(i), *member.gc, options.suspector);

@@ -31,6 +31,9 @@ struct NewTopOptions {
     /// Request batching on every member's Invocation submit path (off by
     /// default: max_requests <= 1 keeps the wire byte-identical).
     BatchConfig batch{};
+    /// Per-run observability context (nullptr = off); threaded into every
+    /// member's Invocation layer and GC service.
+    obs::Obs* obs{nullptr};
 };
 
 class NewTopDeployment {

@@ -73,6 +73,11 @@ std::vector<fs::Outbound> GcService::process(const std::string& operation, const
 // ---------------------------------------------------------------------------
 
 void GcService::on_multicast(const MulticastRequest& request, Out& out) {
+    // The GC is about to hand the payload's protocol message(s) to the
+    // network (broadcast or sequencer send) — the span's net-send stage.
+    if (cfg_.obs != nullptr) {
+        cfg_.obs->span(obs::Stage::kNetSend, request.payload, cfg_.obs_member);
+    }
     switch (request.service) {
         case ServiceType::kSymmetricTotalOrder: {
             ++lamport_;
@@ -161,6 +166,12 @@ void GcService::on_gc_message(const GcMessage& msg, Out& out) {
                              msg.kind == GcKind::kViewInstall;
     if (!is_view_msg && !view_.contains(msg.sender)) return;
 
+    // Payload-carrying peer traffic = the span's receive stage (ACKs and
+    // view-protocol messages are protocol-internal, not message lifecycle).
+    if (cfg_.obs != nullptr && (msg.kind == GcKind::kData || msg.kind == GcKind::kOrder)) {
+        cfg_.obs->span(obs::Stage::kReceive, msg.payload, cfg_.obs_member);
+    }
+
     switch (msg.kind) {
         case GcKind::kData:
             switch (msg.service) {
@@ -191,7 +202,7 @@ void GcService::on_gc_message(const GcMessage& msg, Out& out) {
 void GcService::on_suspect(MemberId member, Out& out) {
     if (member == cfg_.self || !view_.contains(member)) return;
     if (!suspected_.insert(member).second) return;
-    LogStream(LogLevel::kDebug, "gc") << "member " << cfg_.self << " suspects " << member;
+    FAILSIG_LOG(LogLevel::kDebug, GC) << "member " << cfg_.self << " suspects " << member;
     maybe_propose_view(out);
 }
 
@@ -208,6 +219,9 @@ void GcService::enqueue_sym_stream(const GcMessage& msg, Out& out) {
     if (msg.stream_seq < next) return;  // stale duplicate
     auto& holdback = sym_holdback_[msg.sender];
     holdback[msg.stream_seq] = msg;
+    if (cfg_.obs != nullptr) {
+        cfg_.obs->holdback_depth(static_cast<std::int64_t>(holdback.size()));
+    }
     while (true) {
         const auto it = holdback.find(next);
         if (it == holdback.end()) break;
@@ -474,8 +488,8 @@ void GcService::install_view(std::uint64_t view_id, std::vector<MemberId> member
     view_.members = std::move(members);
     highest_view_seen_ = std::max(highest_view_seen_, view_id);
     ++views_installed_;
-    LogStream(LogLevel::kInfo, "gc") << "member " << cfg_.self << " installs "
-                                     << newtop::to_string(view_);
+    FAILSIG_LOG(LogLevel::kInfo, GC)
+        << "member " << cfg_.self << " installs " << newtop::to_string(view_);
 
     // Drop state belonging to removed members.
     for (auto it = latest_ts_.begin(); it != latest_ts_.end();) {
@@ -530,7 +544,12 @@ void GcService::broadcast(const GcMessage& msg, Out& out) {
 }
 
 void GcService::deliver(Delivery d, Out& out) {
-    if (d.kind == Delivery::Kind::kMessage) ++delivered_count_;
+    if (d.kind == Delivery::Kind::kMessage) {
+        ++delivered_count_;
+        if (cfg_.obs != nullptr) {
+            cfg_.obs->span(obs::Stage::kOrdered, d.payload, cfg_.obs_member);
+        }
+    }
     d.delivery_seq = ++delivery_out_seq_;
     out.emplace_back(cfg_.delivery, "deliver", d.encode());
 }

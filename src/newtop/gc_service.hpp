@@ -28,6 +28,7 @@
 
 #include "fs/service.hpp"
 #include "newtop/wire.hpp"
+#include "obs/obs.hpp"
 
 namespace failsig::newtop {
 
@@ -44,6 +45,13 @@ struct GcConfig {
     /// 10 kB DATA message cost ~5 ms on top of the fixed protocol cost,
     /// which reproduces the Figure-8 throughput fall-off with message size.
     double per_byte_cost_us{0.5};
+    /// Observability context (nullptr = off). In FS-NewTOP only the pair's
+    /// leader replica gets a non-null pointer, so replicated execution does
+    /// not double-count stamps. Metrics are write-only side channels — the
+    /// state machine stays deterministic with or without them.
+    obs::Obs* obs{nullptr};
+    /// Member index used to label this GC's flight-recorder events.
+    int obs_member{-1};
 };
 
 class GcService final : public fs::DeterministicService {

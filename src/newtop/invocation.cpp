@@ -3,6 +3,7 @@
 namespace failsig::newtop {
 
 void InvocationService::multicast(ServiceType service, Bytes payload) {
+    if (obs_ != nullptr) obs_->span(obs::Stage::kSubmit, payload, obs_member_);
     if (!batcher_) {  // constructed without configure_batching (direct use)
         do_multicast(service, std::move(payload));
         return;
@@ -17,10 +18,25 @@ void InvocationService::configure_batching(sim::Simulation& sim, BatchConfig con
     // passthrough, so requests_submitted means the same thing on every stack.
     batcher_ = std::make_unique<Batcher>(
         config,
-        [this](Bytes unit, std::size_t) { do_multicast(batch_service_, std::move(unit)); },
+        [this](Bytes unit, std::size_t) {
+            if (obs_ != nullptr) trace_flush(unit);
+            do_multicast(batch_service_, std::move(unit));
+        },
         [&sim](Duration delay, std::function<void()> fn) {
             sim.schedule_after(delay, std::move(fn));
         });
+}
+
+void InvocationService::trace_flush(const Bytes& unit) {
+    if (Batch::is_batch(unit)) {
+        if (auto requests = Batch::decode(unit); requests.has_value()) {
+            for (const auto& request : requests.value()) {
+                obs_->span_link(unit, request, obs_member_);
+            }
+            return;
+        }
+    }
+    obs_->span_link(unit, unit, obs_member_);  // passthrough: unit == request
 }
 
 void InvocationService::handle_delivery_bytes(const Bytes& body) {
@@ -72,6 +88,7 @@ void InvocationService::upcall(const Delivery& d) {
 
 void InvocationService::upcall_single(const Delivery& d) {
     ++deliveries_;
+    if (obs_ != nullptr) obs_->span(obs::Stage::kDelivered, d.payload, obs_member_);
     if (delivery_handler_) delivery_handler_(d);
 }
 
@@ -81,6 +98,7 @@ PlainInvocation::PlainInvocation(orb::Orb& orb, const std::string& key, GcServan
 }
 
 void PlainInvocation::do_multicast(ServiceType service, Bytes payload) {
+    if (obs_ != nullptr) obs_->span(obs::Stage::kEncoded, payload, obs_member_);
     MulticastRequest req;
     req.service = service;
     req.payload = std::move(payload);

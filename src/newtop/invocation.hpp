@@ -17,6 +17,7 @@
 
 #include "common/batch.hpp"
 #include "newtop/gc_servant.hpp"
+#include "obs/obs.hpp"
 
 namespace failsig::newtop {
 
@@ -48,6 +49,13 @@ public:
         return batcher_ ? batcher_->stats() : BatchStats{};
     }
 
+    /// Attaches the run's observability context (nullptr = off). `member`
+    /// labels this invocation's stamps in the flight recorder.
+    void set_obs(obs::Obs* obs, int member) {
+        obs_ = obs;
+        obs_member_ = member;
+    }
+
     void on_delivery(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
     void on_view(ViewHandler handler) { view_handler_ = std::move(handler); }
     void on_middleware_failure(MiddlewareFailureHandler handler) {
@@ -74,8 +82,14 @@ protected:
     MiddlewareFailureHandler failure_handler_;
     std::uint64_t deliveries_{0};
     GroupView last_view_;
+    obs::Obs* obs_{nullptr};
+    int obs_member_{-1};
 
 private:
+    /// Stamps kBatched for every request a flushed unit carries and links
+    /// them to the unit's span (decodes the frame only when obs is on).
+    void trace_flush(const Bytes& unit);
+
     std::unique_ptr<Batcher> batcher_;
     /// Service class of the open batch; a submit with a different class
     /// flushes first (batches never mix ordering semantics).

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace failsig::obs {
+
+std::size_t Histogram::index_of(std::uint64_t sample) {
+    // sample >= 1. Values 1..3 map to indices 1..3; from 4 on, octave
+    // k = floor(log2 v) contributes 4 sub-buckets at (k-2)*4 + (v >> (k-2)).
+    if (sample < 4) return static_cast<std::size_t>(sample);
+    const int octave = 63 - std::countl_zero(sample);
+    return static_cast<std::size_t>(octave - 2) * kSubBuckets +
+           static_cast<std::size_t>(sample >> (octave - 2));
+}
+
+std::uint64_t Histogram::lower_bound_of(std::size_t index) {
+    if (index < 4) return index;
+    const std::size_t group = index / kSubBuckets - 1;
+    const std::size_t sub = index % kSubBuckets;
+    return static_cast<std::uint64_t>(4 + sub) << group;
+}
+
+void Histogram::add(std::int64_t sample) {
+    ++count_;
+    sum_ += sample;
+    if (count_ == 1) {
+        min_ = max_ = sample;
+    } else {
+        if (sample < min_) min_ = sample;
+        if (sample > max_) max_ = sample;
+    }
+    if (sample <= 0) {
+        ++zero_;
+        return;
+    }
+    const auto v = static_cast<std::uint64_t>(sample);
+    if (v >= (1ull << kMaxOctave)) {
+        ++overflow_;
+        return;
+    }
+    if (bucket_counts_.empty()) bucket_counts_.assign(kBucketCount, 0);
+    ++bucket_counts_[index_of(v)];
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::buckets() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+        if (bucket_counts_[i] != 0) out.emplace_back(lower_bound_of(i), bucket_counts_[i]);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_snapshot() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+    return out;
+}
+
+namespace {
+
+/// Metric names are dotted ASCII identifiers, but escape defensively so a
+/// stray quote can never produce invalid JSON.
+void append_json_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += "\\u00";
+            constexpr char hex[] = "0123456789abcdef";
+            out += hex[(c >> 4) & 0xF];
+            out += hex[c & 0xF];
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(const std::string& scenario,
+                                     TimePoint finished_at) const {
+    std::string out = "{\"format\":\"failsig-metrics-v1\",\"scenario\":";
+    append_json_string(out, scenario);
+    out += ",\"finished_at_us\":" + std::to_string(finished_at);
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, name);
+        out += ':' + std::to_string(c.value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, name);
+        out += ':' + std::to_string(g.value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, name);
+        out += ":{\"count\":" + std::to_string(h.count()) +
+               ",\"sum\":" + std::to_string(h.sum()) +
+               ",\"min\":" + std::to_string(h.min()) +
+               ",\"max\":" + std::to_string(h.max()) +
+               ",\"zero\":" + std::to_string(h.zero_count()) +
+               ",\"overflow\":" + std::to_string(h.overflow_count()) + ",\"buckets\":[";
+        bool first_bucket = true;
+        for (const auto& [lower, count] : h.buckets()) {
+            if (!first_bucket) out += ',';
+            first_bucket = false;
+            out += '[' + std::to_string(lower) + ',' + std::to_string(count) + ']';
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+    // Prometheus metric names take [a-zA-Z0-9_:]; dots become underscores.
+    const auto prom_name = [](const std::string& name) {
+        std::string out = name;
+        for (char& c : out) {
+            if (c == '.' || c == '-') c = '_';
+        }
+        return out;
+    };
+
+    std::string out;
+    for (const auto& [name, c] : counters_) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " counter\n";
+        out += p + " " + std::to_string(c.value()) + "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " gauge\n";
+        out += p + " " + std::to_string(g.value()) + "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " histogram\n";
+        // Cumulative le buckets over the sparse rendering: each non-empty
+        // log-linear bucket [lower, next) contributes its exclusive upper
+        // bound as the le threshold.
+        std::uint64_t cumulative = h.zero_count();
+        out += p + "_bucket{le=\"0\"} " + std::to_string(cumulative) + "\n";
+        for (const auto& [lower, count] : h.buckets()) {
+            cumulative += count;
+            // The bucket starting at `lower` ends where the next one starts.
+            const std::uint64_t upper =
+                Histogram::lower_bound_of(Histogram::index_of(lower) + 1) - 1;
+            out += p + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+        out += p + "_sum " + std::to_string(h.sum()) + "\n";
+        out += p + "_count " + std::to_string(h.count()) + "\n";
+    }
+    return out;
+}
+
+}  // namespace failsig::obs

@@ -1,0 +1,57 @@
+#include "obs/obs.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace failsig::obs {
+
+Obs::Obs(const ObsConfig& config)
+    : spans_(metrics_),
+      flight_(config.flight_capacity),
+      sign_us_(metrics_.histogram("crypto.sign_us")),
+      verify_us_(metrics_.histogram("crypto.verify_us")),
+      holdback_depth_hist_(metrics_.histogram("gc.holdback_depth")) {}
+
+TimePoint Obs::now() const { return sim_ != nullptr ? sim_->now() : 0; }
+
+void Obs::span(Stage stage, std::span<const std::uint8_t> payload, int member) {
+    const TimePoint at = now();
+    const std::uint64_t key = span_key(payload);
+    spans_.stamp(stage, key, member, at);
+    flight_.record(member, at,
+                   std::string(stage_name(stage)) + " span=" + std::to_string(key));
+}
+
+void Obs::span_link(std::span<const std::uint8_t> unit,
+                    std::span<const std::uint8_t> request, int member) {
+    const TimePoint at = now();
+    const std::uint64_t unit_key = span_key(unit);
+    const std::uint64_t request_key = span_key(request);
+    spans_.link(unit_key, request_key, member, at);
+    if (unit_key != request_key) {  // passthrough links would spam the ring
+        flight_.record(member, at,
+                       "batched span=" + std::to_string(request_key) +
+                           " into unit=" + std::to_string(unit_key));
+    } else {
+        flight_.record(member, at, "batched span=" + std::to_string(request_key));
+    }
+}
+
+void Obs::note(int member, std::string what) {
+    flight_.record(member, now(), std::move(what));
+}
+
+void Obs::crypto_sign(Duration simulated_cost) {
+    sign_us_.add(static_cast<std::int64_t>(simulated_cost));
+}
+
+void Obs::crypto_verify(Duration simulated_cost) {
+    verify_us_.add(static_cast<std::int64_t>(simulated_cost));
+}
+
+void Obs::holdback_depth(std::int64_t depth) { holdback_depth_hist_.add(depth); }
+
+std::string Obs::metrics_json(const std::string& scenario) const {
+    return metrics_.to_json(scenario, now());
+}
+
+}  // namespace failsig::obs

@@ -1,0 +1,44 @@
+#include "obs/recorder.hpp"
+
+namespace failsig::obs {
+
+void FlightRecorder::record(int member, TimePoint at, std::string what) {
+    Ring& ring = rings_[member];
+    if (ring.slots.size() < capacity_) {
+        ring.slots.push_back(FlightEvent{at, std::move(what)});
+    } else {
+        ring.slots[ring.next] = FlightEvent{at, std::move(what)};
+        ring.next = (ring.next + 1) % capacity_;
+    }
+    ++ring.seen;
+    ++recorded_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events(int member) const {
+    const auto it = rings_.find(member);
+    if (it == rings_.end()) return {};
+    const Ring& ring = it->second;
+    std::vector<FlightEvent> out;
+    out.reserve(ring.slots.size());
+    // Oldest first: once wrapped, the slot at `next` is the oldest survivor.
+    for (std::size_t i = 0; i < ring.slots.size(); ++i) {
+        out.push_back(ring.slots[(ring.next + i) % ring.slots.size()]);
+    }
+    return out;
+}
+
+std::string FlightRecorder::dump() const {
+    std::string out = "flight-recorder dump (capacity " + std::to_string(capacity_) +
+                      " events/node, " + std::to_string(recorded_) + " recorded)\n";
+    for (const auto& [member, ring] : rings_) {
+        out += member < 0 ? "node * (run-global)" : "node " + std::to_string(member);
+        out += " — " + std::to_string(ring.slots.size()) + " retained of " +
+               std::to_string(ring.seen) + " seen\n";
+        for (const auto& e : events(member)) {
+            out += "  t=" + std::to_string(e.at) + "us  " + e.what + "\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace failsig::obs

@@ -1,0 +1,65 @@
+// Flight recorder: the last N things each node saw, for when a run ends in
+// an invariant violation.
+//
+// The explorer can already shrink a violation to a minimal scenario, but a
+// scenario says what was *injected*, not what the protocols were *doing*
+// when agreement broke. The recorder keeps a bounded ring of recent events
+// per node — span stamps, views, fail-signals, injected scenario events —
+// and dump() renders them as a chronological per-node timeline. The
+// scenario runner and explore_cli write that dump next to the reproducer,
+// which is exactly the causal context the open view-change flush gap
+// investigation has been missing.
+//
+// Rings are bounded (default 256 events/node), so recording during a long
+// run costs O(1) memory per node and an append is a vector store — cheap
+// enough to leave on whenever obs is enabled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace failsig::obs {
+
+struct FlightEvent {
+    TimePoint at{0};
+    std::string what;
+};
+
+class FlightRecorder {
+public:
+    explicit FlightRecorder(std::size_t capacity_per_node = 256)
+        : capacity_(capacity_per_node == 0 ? 1 : capacity_per_node) {}
+
+    /// Appends an event to `member`'s ring (member -1 = run-global events:
+    /// injected scenario faults, run lifecycle). Overwrites the oldest
+    /// entry once the ring is full.
+    void record(int member, TimePoint at, std::string what);
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    /// Events currently retained for `member`, oldest first.
+    [[nodiscard]] std::vector<FlightEvent> events(int member) const;
+    /// Total events ever recorded (including overwritten ones).
+    [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+    /// Human-readable dump: one section per node (global section first),
+    /// events oldest-to-newest with sim-tick timestamps. Deterministic for
+    /// a deterministic run.
+    [[nodiscard]] std::string dump() const;
+
+private:
+    struct Ring {
+        std::vector<FlightEvent> slots;
+        std::size_t next{0};   ///< index the next event overwrites
+        std::uint64_t seen{0}; ///< total events pushed at this ring
+    };
+
+    std::size_t capacity_;
+    std::map<int, Ring> rings_;
+    std::uint64_t recorded_{0};
+};
+
+}  // namespace failsig::obs

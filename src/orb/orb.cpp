@@ -98,9 +98,9 @@ void Orb::invoke_fanout(const std::vector<ObjectRef>& targets, const std::string
 void Orb::on_network_message(const net::Message& msg) {
     auto decoded = Request::decode_message(msg.payload);
     if (!decoded.has_value()) {
-        LogStream(LogLevel::kWarn, "orb") << to_string(endpoint_)
-                                          << " dropping undecodable request: "
-                                          << decoded.error().message;
+        FAILSIG_LOG(LogLevel::kWarn, ORB)
+            << to_string(endpoint_) << " dropping undecodable request: "
+            << decoded.error().message;
         return;
     }
     auto req = std::make_shared<Request>(std::move(decoded).value());
@@ -115,7 +115,7 @@ void Orb::on_network_message(const net::Message& msg) {
         }
         const auto it = servants_.find(req->object_key);
         if (it == servants_.end()) {
-            LogStream(LogLevel::kDebug, "orb")
+            FAILSIG_LOG(LogLevel::kDebug, ORB)
                 << to_string(endpoint_) << " no servant for key '" << req->object_key << "'";
             return;
         }

@@ -20,6 +20,9 @@ void print_usage(const char* program, const std::string& extra) {
         "  --jobs N         worker threads for independent runs (default:\n"
         "                   hardware concurrency; results are identical for any N)\n"
         "  --out PATH       write a JSON report to PATH\n"
+        "  --metrics-out PATH  enable observability and write the metrics\n"
+        "                   document (failsig-metrics-v1) to PATH; the main\n"
+        "                   report bytes are unaffected\n"
         "  --help           this text\n%s",
         program, extra.c_str());
 }
@@ -122,6 +125,8 @@ CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage) {
             }
         } else if (arg == "--out" && has_value) {
             opts.out_path = argv[++i];
+        } else if (arg == "--metrics-out" && has_value) {
+            opts.metrics_out_path = argv[++i];
         } else {
             std::fprintf(stderr, "%s: unknown or incomplete option '%s' (try --help)\n",
                          argv[0], arg.c_str());

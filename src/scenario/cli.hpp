@@ -23,6 +23,10 @@ struct CliOptions {
     bool seed_set{false};
     int jobs{0};           ///< sweep worker threads; 0 = hardware concurrency
     std::string out_path;  ///< empty = no report file
+    /// Non-empty = enable observability on every run and write the combined
+    /// metrics document (failsig-metrics-v1 snapshots) to this path. The
+    /// main report stays byte-identical either way.
+    std::string metrics_out_path;
     bool help{false};      ///< --help given: usage already printed
     bool error{false};     ///< bad flag/value: message already printed
 };

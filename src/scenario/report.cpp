@@ -259,6 +259,23 @@ std::string to_csv(const std::vector<ScenarioReport>& reports) {
     return out;
 }
 
+std::string metrics_document(const std::vector<ScenarioReport>& reports) {
+    // Hand-assembled rather than JsonWriter-built: each per-run snapshot is
+    // already a complete JSON object and must be embedded verbatim, byte for
+    // byte, so the document stays diffable against single-run exports.
+    std::string out = "{\n  \"format\": \"failsig-metrics-doc-v1\",\n  \"runs\": [";
+    bool first = true;
+    for (const auto& report : reports) {
+        if (report.metrics_json.empty()) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "\n";
+        out += report.metrics_json;
+    }
+    out += first ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
 bool write_file(const std::string& path, const std::string& content) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {

@@ -57,6 +57,13 @@ std::string to_csv(const std::vector<ScenarioReport>& reports);
 /// failure.
 bool write_file(const std::string& path, const std::string& content);
 
+/// Aggregated observability document ("failsig-metrics-doc-v1"): one entry
+/// per run that collected metrics (reports without metrics_json are
+/// skipped), each embedding its failsig-metrics-v1 snapshot verbatim.
+/// Deterministic: entries follow report order, snapshots are sim-tick
+/// stamped, so the document is byte-identical at any --jobs count.
+std::string metrics_document(const std::vector<ScenarioReport>& reports);
+
 /// Prints a one-line-per-report summary table to stdout.
 void print_table(const std::vector<ScenarioReport>& reports);
 

@@ -5,6 +5,7 @@
 #include <exception>
 #include <functional>
 #include <map>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -41,6 +42,10 @@ struct RunState {
     std::uint64_t sent_count{0};
     std::uint64_t delivery_count{0};
     std::vector<std::uint32_t> next_seq;
+    /// Observability context of this run (nullptr = off): run-level events
+    /// (views, fail-signals, injected faults) are mirrored into the flight
+    /// recorder so a violation dump shows them interleaved with span stamps.
+    obs::Obs* obs{nullptr};
 
     explicit RunState(const Scenario& scenario)
         : s(scenario), next_seq(static_cast<std::size_t>(scenario.group_size), 0) {}
@@ -86,6 +91,7 @@ struct RunState {
         e.seq = view.view_id;
         e.view_members = view.members;
         e.detail = "view_id=" + std::to_string(view.view_id);
+        if (obs != nullptr) obs->note(member, "view installed: " + e.detail);
         trace.record(std::move(e));
     }
 
@@ -96,6 +102,7 @@ struct RunState {
         e.at = now;
         e.member = member;
         e.detail = name + ": " + reason;
+        if (obs != nullptr) obs->note(member, "fail-signal " + e.detail);
         trace.record(std::move(e));
     }
 
@@ -105,6 +112,7 @@ struct RunState {
         e.at = now;
         e.member = member;
         e.detail = fs_name;
+        if (obs != nullptr) obs->note(member, "middleware failure: " + fs_name);
         trace.record(std::move(e));
     }
 };
@@ -222,6 +230,7 @@ void schedule_timeline(deploy::Deployment& d, RunState& st) {
                 case Kind::kLoad:
                     break;  // arrivals pre-scheduled by schedule_load
             }
+            if (st.obs != nullptr) st.obs->note(event.member, "scenario event: " + te.detail);
             st.trace.record(std::move(te));
         });
     }
@@ -245,7 +254,7 @@ void drive(deploy::Deployment& d, const Scenario& s) {
     d.sim().run_until(deadline + s.settle);
 }
 
-ScenarioReport finish(RunState& st, deploy::Deployment& dep) {
+ScenarioReport finish(RunState& st, deploy::Deployment& dep, obs::Obs* obs) {
     net::SimNetwork& net = dep.network();
     const TimePoint now = dep.sim().now();
     ScenarioReport report;
@@ -279,6 +288,21 @@ ScenarioReport finish(RunState& st, deploy::Deployment& dep) {
     m.verify_cache_hits = dep.crypto_verify_cache_hits();
 
     report.invariants = evaluate(report.scenario, report.trace);
+
+    if (obs != nullptr) {
+        // End-of-run simulator gauges, then the deterministic exports. All
+        // values are pure functions of the Scenario, so these artifacts are
+        // byte-identical at any --jobs count.
+        auto& registry = obs->metrics();
+        registry.gauge("sim.events_fired").set(static_cast<std::int64_t>(dep.sim().events_fired()));
+        registry.gauge("sim.queue_footprint")
+            .set(static_cast<std::int64_t>(dep.sim().queue_footprint()));
+        registry.gauge("sim.max_queue_footprint")
+            .set(static_cast<std::int64_t>(dep.sim().max_queue_footprint()));
+        report.metrics_json = obs->metrics_json(st.s.name);
+        report.flight_dump = obs->flight().dump();
+        report.obs_counters = registry.counter_snapshot();
+    }
     return report;
 }
 
@@ -342,7 +366,17 @@ void parallel_for(std::size_t count, int jobs, const std::function<void(std::siz
 
 ScenarioReport run_scenario(const Scenario& scenario) {
     ensure(scenario.group_size >= 1, "scenario: group_size must be >= 1");
-    const auto d = deploy::make_deployment(scenario.system, spec_of(scenario));
+
+    // The run owns its observability context: single-threaded by
+    // construction (everything below executes on this run's event loop), so
+    // parallel sweep workers never share one.
+    std::unique_ptr<obs::Obs> obs;
+    deploy::DeploymentSpec spec = spec_of(scenario);
+    if (scenario.obs.enabled) {
+        obs = std::make_unique<obs::Obs>(scenario.obs);
+        spec.obs = obs.get();
+    }
+    const auto d = deploy::make_deployment(scenario.system, spec);
 
     // Schedule perturbation: a non-zero tie_break_seed permutes same-time
     // events with a key that is a pure hash of (seed, event id) — the run
@@ -374,6 +408,7 @@ ScenarioReport run_scenario(const Scenario& scenario) {
     }
 
     RunState st(scenario);
+    st.obs = obs.get();
     deploy::Observers observers;
     deploy::Deployment& dep = *d;
     observers.delivered = [&st, &dep](int member, const Bytes& payload) {
@@ -394,7 +429,7 @@ ScenarioReport run_scenario(const Scenario& scenario) {
     schedule_workload(dep, st);
     schedule_timeline(dep, st);
     drive(dep, scenario);
-    return finish(st, dep);
+    return finish(st, dep, obs.get());
 }
 
 std::vector<ScenarioReport> run_scenarios(const std::vector<Scenario>& scenarios, int jobs) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <stdexcept>
+#include <utility>
 
 #include "scenario/invariants.hpp"
 #include "scenario/scenario.hpp"
@@ -77,6 +78,18 @@ struct ScenarioReport {
     bool from_sweep{false};
     std::uint64_t seed_axis{0};
     std::uint64_t seed_index{0};
+
+    // Observability artifacts, filled only when `scenario.obs.enabled`.
+    // Deliberately NOT serialized by to_json/to_csv (the report byte layout
+    // is a compatibility surface); callers write them to separate files
+    // (--metrics-out, violation flight dumps).
+    /// "failsig-metrics-v1" snapshot (see obs::MetricsRegistry::to_json).
+    std::string metrics_json;
+    /// Flight-recorder timeline (obs::FlightRecorder::dump()).
+    std::string flight_dump;
+    /// Deterministic counter snapshot, name-ascending — lets the perf bench
+    /// and tests gate on counters without parsing JSON.
+    std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
 
     [[nodiscard]] bool all_invariants_passed() const { return all_passed(invariants); }
 };

@@ -144,6 +144,12 @@ struct Scenario {
     fsnewtop::Placement placement{fsnewtop::Placement::kCollocated};  ///< FS-NewTOP
     fs::FsConfig fs_config{};                           ///< FS-NewTOP
 
+    /// Observability (src/obs): when enabled, the run collects lifecycle
+    /// spans, metrics and a per-node flight recorder. Off by default — and
+    /// deliberately excluded from the JSON/CSV report surface, so enabling
+    /// it never perturbs report bytes.
+    obs::ObsConfig obs{};
+
     /// Members a timeline event makes genuinely faulty. Invariants use this
     /// as the ground truth: exclusions and fail-signals must only ever point
     /// at members in this set.

@@ -9,6 +9,7 @@ Simulation::EventId Simulation::schedule_at(TimePoint at, EventFn fn) {
     const TimePoint fire_at = std::max(at, now_);
     const std::uint64_t tie = tie_break_ ? tie_break_(id, fire_at) : id;
     heap_.push_back(Event{fire_at, id, tie});
+    max_footprint_ = std::max(max_footprint_, heap_.size());
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     handlers_.emplace(id, std::move(fn));
     return id;

@@ -74,6 +74,10 @@ public:
     /// max(64 + pending(), 2 * pending()) — below 64 dead entries it does
     /// not bother rebuilding).
     [[nodiscard]] std::size_t queue_footprint() const { return heap_.size(); }
+    /// High-watermark of queue_footprint() over the run — the peak heap
+    /// allocation a run ever needed (diagnostic; exported as an end-of-run
+    /// gauge by the observability layer).
+    [[nodiscard]] std::size_t max_queue_footprint() const { return max_footprint_; }
 
 private:
     struct Event {
@@ -108,6 +112,7 @@ private:
     std::vector<Event> heap_;
     std::unordered_map<EventId, EventFn> handlers_;
     std::size_t cancelled_in_heap_{0};
+    std::size_t max_footprint_{0};
     TieBreakFn tie_break_;
 };
 

@@ -118,6 +118,31 @@ TEST(ExploreEngine, ReportIsByteIdenticalForAnyJobCount) {
     EXPECT_EQ(serial.to_json(), parallel.to_json());
 }
 
+TEST(ExploreEngine, HeartbeatChunkingKeepsTheReportByteIdentical) {
+    // --progress chunks the fan-out to fire the callback on cadence; the
+    // episodes are independent pure functions, so the report must not move
+    // by a byte — and the heartbeat must count monotonically to the total.
+    ExploreConfig config = small_config();
+    const auto plain = explore(config);
+
+    std::vector<std::size_t> done_marks;
+    config.progress_every = 3;
+    config.progress = [&done_marks](std::size_t done, std::size_t total,
+                                    std::size_t violated) {
+        (void)violated;
+        EXPECT_LE(done, total);
+        done_marks.push_back(done);
+    };
+    const auto chunked = explore(config);
+
+    EXPECT_EQ(plain.to_json(), chunked.to_json());
+    ASSERT_FALSE(done_marks.empty());
+    EXPECT_EQ(done_marks.back(), plain.episodes.size()) << "final beat covers every episode";
+    for (std::size_t i = 1; i < done_marks.size(); ++i) {
+        EXPECT_LT(done_marks[i - 1], done_marks[i]) << "heartbeat must be monotone";
+    }
+}
+
 TEST(ExploreEngine, SoundDefaultGrammarFindsNoViolationsOnASmallBudget) {
     ExploreConfig config = small_config();
     config.systems = {SystemKind::kNewTop, SystemKind::kFsNewTop, SystemKind::kPbft};
@@ -236,6 +261,34 @@ TEST(ExploreEngine, PipelineFindsShrinksAndEmitsUnderAWeakenedOracle) {
     const std::string json = report.to_json();
     EXPECT_NE(json.find("\"format\":\"failsig-explore-report-v1\""), std::string::npos);
     EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+}
+
+TEST(ExploreEngine, ViolationsCarryAFlightRecorderDump) {
+    // Force violations through the weakened oracle and check the forensic
+    // contract: every violation record carries a flight-recorder dump from
+    // an obs-enabled re-run of its minimal scenario (explore_cli writes it
+    // to `<repro>.flight`), while the JSON report stays dump-free.
+    const NoFailSignalsInvariant oracle;
+    ExploreConfig config;
+    config.systems = {SystemKind::kFsNewTop};
+    config.group_sizes = {3};
+    config.episodes_per_cell = 8;
+    config.seed = 11;
+    config.workload.msgs_per_member = 4;
+    config.shrink = false;  // the dump comes from the re-run, not the shrinker
+    config.checkers = {&oracle};
+    const auto report = explore(config);
+
+    ASSERT_FALSE(report.violations.empty())
+        << "seed 11 must draw at least one fault plan in 8 episodes";
+    for (const auto& v : report.violations) {
+        ASSERT_FALSE(v.flight_dump.empty());
+        EXPECT_NE(v.flight_dump.find("flight-recorder dump"), std::string::npos);
+        EXPECT_NE(v.flight_dump.find("node "), std::string::npos)
+            << "dump must contain per-node timelines";
+    }
+    EXPECT_EQ(report.to_json().find("flight-recorder"), std::string::npos)
+        << "dumps are artifacts beside the report, never inside it";
 }
 
 // --- spec codec ----------------------------------------------------------------
