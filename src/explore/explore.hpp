@@ -29,7 +29,11 @@
 // so any violation is a finding, and CI can gate on "zero violations". The
 // knobs it keeps off by default (timeout suspectors on plain NewTOP —
 // exactly the paper's false-suspicion pathology) are available for
-// deliberately exploring known-unsound territory.
+// deliberately exploring known-unsound territory. Member faults overlapping
+// dense traffic used to be quarantined out of the sound set too (the GC
+// installed views without a flush); since the view-synchronous flush landed
+// the overlap is part of the default grammar — it is the flush protocol's
+// hardest axis and the regression surface CI fuzzes hardest.
 #pragma once
 
 #include <cstddef>
@@ -65,16 +69,20 @@ struct FaultGrammar {
     /// turn on to watch the explorer rediscover the paper's Figure-of-merit
     /// failure (no-false-exclusion trips).
     bool newtop_suspectors{false};
-    /// On stacks with membership exclusions (FS-NewTOP; NewTOP when
-    /// suspectors run) an episode draws EITHER dense-traffic events (load
-    /// phases, bursts) OR member-fault events, never both. Guards the one
-    /// known hole the explorer itself found (see ROADMAP): the GC has no
-    /// view-synchronous flush, so excluding a member while multicasts are
-    /// in flight can deliver them at different positions on different
-    /// survivors (tests/fixtures/flush_gap_agreement.scenario is the
-    /// checked-in minimal reproducer). Set false to hunt that class
-    /// deliberately.
-    bool exclusive_traffic_and_member_faults{true};
+    /// Historical quarantine knob: when true, on stacks with membership
+    /// exclusions (FS-NewTOP; NewTOP when suspectors run) an episode draws
+    /// EITHER dense-traffic events (load phases, bursts) OR member-fault
+    /// events, never both. It guarded the one hole the explorer itself
+    /// found — the GC used to install views without a flush round, so
+    /// excluding a member while multicasts were in flight could deliver
+    /// them at different positions on different survivors. The
+    /// view-synchronous flush closed that hole (the minimal reproducer,
+    /// tests/fixtures/flush_gap_agreement.scenario, is now a passing
+    /// regression), so the overlap is back in the sound default grammar:
+    /// member faults under dense traffic is the flush's hardest axis and
+    /// exactly what CI should keep fuzzing. Set true only to reproduce the
+    /// historical quarantined campaigns.
+    bool exclusive_traffic_and_member_faults{false};
 };
 
 struct ExploreConfig {

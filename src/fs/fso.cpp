@@ -142,6 +142,14 @@ void Fso::handle_receive_new(const crypto::SignedEnvelope& env) {
             }
             // A valid fail-signal is converted into an ordered input so both
             // replicas observe it at the same point in the input sequence.
+            // Flight-note the conversion: for a wrapped GC this is the
+            // instant the suspicion — and with it the view-change flush —
+            // is triggered, so the recorder can time flush rounds against
+            // their cause.
+            if (rt_.obs != nullptr) {
+                rt_.obs->note(-1, principal_ + " accepts fail-signal from " +
+                                      fsig.value().source_fs);
+            }
             input.uid = "failsig:" + fsig.value().source_fs;
             input.operation = kFailSignalOp;
             input.body = bytes_of(fsig.value().source_fs);

@@ -73,6 +73,14 @@ std::vector<fs::Outbound> GcService::process(const std::string& operation, const
 // ---------------------------------------------------------------------------
 
 void GcService::on_multicast(const MulticastRequest& request, Out& out) {
+    if (flush_pending_ != 0) {
+        // View-synchronous gate: no new traffic enters the old view once the
+        // flush has started. Held requests are replayed into the new view by
+        // install_view (the Invocation layer gates too, on kFlushBegin; this
+        // is the GC-side backstop for callers that bypass it).
+        flush_held_multicasts_.push_back(request);
+        return;
+    }
     // The GC is about to hand the payload's protocol message(s) to the
     // network (broadcast or sequencer send) — the span's net-send stage.
     if (cfg_.obs != nullptr) {
@@ -163,7 +171,8 @@ void GcService::on_gc_message(const GcMessage& msg, Out& out) {
     // View protocol messages are accepted from proposed members too; all
     // other traffic must come from a current view member.
     const bool is_view_msg = msg.kind == GcKind::kViewPropose || msg.kind == GcKind::kViewAck ||
-                             msg.kind == GcKind::kViewInstall;
+                             msg.kind == GcKind::kViewInstall ||
+                             msg.kind == GcKind::kFlushState || msg.kind == GcKind::kFlushDone;
     if (!is_view_msg && !view_.contains(msg.sender)) return;
 
     // Payload-carrying peer traffic = the span's receive stage (ACKs and
@@ -196,6 +205,8 @@ void GcService::on_gc_message(const GcMessage& msg, Out& out) {
         case GcKind::kViewPropose: handle_view_propose(msg, out); break;
         case GcKind::kViewAck: handle_view_ack(msg, out); break;
         case GcKind::kViewInstall: handle_view_install(msg, out); break;
+        case GcKind::kFlushState: handle_flush_state(msg, out); break;
+        case GcKind::kFlushDone: handle_flush_done(msg, out); break;
     }
 }
 
@@ -228,6 +239,15 @@ void GcService::enqueue_sym_stream(const GcMessage& msg, Out& out) {
         const GcMessage m = it->second;
         holdback.erase(it);
         ++next;
+        if (flush_pending_ != 0) {
+            // Mid-flush the resequencer keeps running (stream positions must
+            // stay contiguous) but nothing may mutate ordering state: the
+            // FlushState we announced has to stay an accurate snapshot.
+            // Deferred traffic is replayed after the install, filtered
+            // against the new view and the post-cut watermark.
+            flush_deferred_.push_back(m);
+            continue;
+        }
         if (m.kind == GcKind::kAck) {
             handle_sym_ack(m);
             check_sym_delivery(out);
@@ -252,6 +272,11 @@ void GcService::handle_sym_data(const GcMessage& msg, Out& out) {
     ack.sender = cfg_.self;
     ack.stream_seq = ++sym_stream_out_;
     ack.lamport_ts = lamport_;
+    // Piggyback our delivery watermark on fields every ACK already encodes
+    // (global_seq/origin are dead weight for kAck): peers use it to prune
+    // their flush retention log without any new message or wire-size change.
+    ack.global_seq = sym_watermark_.first;
+    ack.origin = sym_watermark_.second;
     broadcast(ack, out);
     latest_ts_[cfg_.self] = std::max(latest_ts_[cfg_.self], lamport_);
 
@@ -262,6 +287,11 @@ void GcService::handle_sym_ack(const GcMessage& msg) {
     bump_clock(msg.lamport_ts);
     auto& ts = latest_ts_[msg.sender];
     ts = std::max(ts, msg.lamport_ts);
+    auto& mark = peer_watermark_[msg.sender];
+    if (ts_pair_greater(msg.global_seq, msg.origin, mark.first, mark.second)) {
+        mark = {msg.global_seq, msg.origin};
+        prune_sym_retained();
+    }
 }
 
 void GcService::check_sym_delivery(Out& out) {
@@ -286,6 +316,13 @@ void GcService::check_sym_delivery(Out& out) {
         d.service = ServiceType::kSymmetricTotalOrder;
         d.sender_seq = msg.sender_seq;
         d.payload = msg.payload;
+        // Remember what we delivered: a view-change flush may have to
+        // re-supply this body to a peer that never received it.
+        sym_watermark_ = key;
+        sym_retained_[key] = msg;
+        if (sym_retained_.size() > kSymRetainedCap) {
+            sym_retained_.erase(sym_retained_.begin());
+        }
         sym_buffer_.erase(sym_buffer_.begin());
         deliver(std::move(d), out);
     }
@@ -330,6 +367,12 @@ void GcService::check_asym_delivery(Out& out) {
         d.service = ServiceType::kAsymmetricTotalOrder;
         d.sender_seq = it->second.sender_seq;
         d.payload = it->second.payload;
+        // Keep the ordered record for flush patch-up (the asym protocol has
+        // no ACK to piggyback watermarks on, so retention is cap-bounded).
+        asym_retained_[it->first] = it->second;
+        if (asym_retained_.size() > kAsymRetainedCap) {
+            asym_retained_.erase(asym_retained_.begin());
+        }
         asym_buffer_.erase(it);
         ++asym_next_deliver_;
         deliver(std::move(d), out);
@@ -424,9 +467,19 @@ void GcService::maybe_propose_view(Out& out) {
     view_acks_ = {cfg_.self};
 
     if (candidates.size() == 1) {
+        // Sole survivor: nobody left to flush with; our own history is the
+        // cut and the post-install stability re-check releases it.
         install_view(id, candidates, out);
         return;
     }
+    // Open the flush round for this proposal and seed it with our own state.
+    // A re-propose (survivor crashed mid-flush) lands here again with a
+    // higher id: a fresh round is keyed in, and stale states are ignored.
+    enter_flush(id, out);
+    auto& round = flush_rounds_[id];
+    round.members = candidates;
+    merge_flush_state(round, cfg_.self, local_flush_state());
+    round.states_received.insert(cfg_.self);
     GcMessage propose;
     propose.kind = GcKind::kViewPropose;
     propose.sender = cfg_.self;
@@ -452,24 +505,28 @@ void GcService::handle_view_propose(const GcMessage& msg, Out& out) {
     ack.sender = cfg_.self;
     ack.view_id = msg.view_id;
     send_to(msg.sender, ack, out);
+
+    // Accepting the proposal starts the flush: freeze old-view traffic and
+    // hand the coordinator our watermarks plus every old-view body we can
+    // still supply, so the merged cut covers what any survivor is missing.
+    enter_flush(msg.view_id, out);
+    GcMessage state;
+    state.kind = GcKind::kFlushState;
+    state.sender = cfg_.self;
+    state.view_id = msg.view_id;
+    state.payload = local_flush_state().encode();
+    send_to(msg.sender, state, out);
+    if (cfg_.obs != nullptr) cfg_.obs->flush_message();
 }
 
 void GcService::handle_view_ack(const GcMessage& msg, Out& out) {
     if (msg.view_id != last_proposed_id_) return;
     view_acks_.insert(msg.sender);
-    const bool complete = std::all_of(proposed_members_.begin(), proposed_members_.end(),
-                                      [&](MemberId m) { return view_acks_.contains(m); });
-    if (!complete) return;
-
-    GcMessage install;
-    install.kind = GcKind::kViewInstall;
-    install.sender = cfg_.self;
-    install.view_id = last_proposed_id_;
-    install.view_members = proposed_members_;
-    for (const auto m : proposed_members_) {
-        if (m != cfg_.self) send_to(m, install, out);
-    }
-    install_view(last_proposed_id_, proposed_members_, out);
+    // Installation now additionally waits for every survivor's FlushState;
+    // whichever of the last ack / last state arrives second completes the
+    // round (they travel as independent signed streams under FS and may
+    // overtake each other).
+    maybe_complete_flush(out);
 }
 
 void GcService::handle_view_install(const GcMessage& msg, Out& out) {
@@ -480,6 +537,12 @@ void GcService::handle_view_install(const GcMessage& msg, Out& out) {
         return;
     }
     if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+    if (flush_pending_ >= msg.view_id) {
+        // The kFlushDone for this round performs the install after the cut
+        // is applied; an install overtaking it on the wire must not skip the
+        // cut (that is exactly the agreement hole this protocol closes).
+        return;
+    }
     install_view(msg.view_id, msg.view_members, out);
 }
 
@@ -490,6 +553,18 @@ void GcService::install_view(std::uint64_t view_id, std::vector<MemberId> member
     ++views_installed_;
     FAILSIG_LOG(LogLevel::kInfo, GC)
         << "member " << cfg_.self << " installs " << newtop::to_string(view_);
+
+    // Close the flush epoch: the round (if any) is decided, retention logs
+    // restart for the new view, and stale rounds can never complete.
+    const bool was_flushing = flush_pending_ != 0 && flush_pending_ <= view_id;
+    if (was_flushing) flush_pending_ = 0;
+    std::erase_if(flush_rounds_, [&](const auto& kv) { return kv.first <= view_id; });
+    sym_retained_.clear();
+    asym_retained_.clear();
+    for (auto it = peer_watermark_.begin(); it != peer_watermark_.end();) {
+        it = view_.contains(it->first) ? std::next(it) : peer_watermark_.erase(it);
+    }
+    if (was_flushing && cfg_.obs != nullptr) cfg_.obs->flush_end(cfg_.obs_member);
 
     // Drop state belonging to removed members.
     for (auto it = latest_ts_.begin(); it != latest_ts_.end();) {
@@ -510,9 +585,252 @@ void GcService::install_view(std::uint64_t view_id, std::vector<MemberId> member
     check_asym_delivery(out);
     check_causal_delivery(out);
 
+    // Replay the sym stream that was deferred during the flush. Traffic from
+    // removed members is dropped (everyone drops it — membership is agreed),
+    // and DATA at or below the post-cut watermark was already delivered via
+    // the cut. ACKs always replay: clock announcements are monotone.
+    const std::vector<GcMessage> deferred = std::move(flush_deferred_);
+    flush_deferred_.clear();
+    for (const auto& m : deferred) {
+        if (!view_.contains(m.sender)) continue;
+        if (m.kind == GcKind::kAck) {
+            handle_sym_ack(m);
+            check_sym_delivery(out);
+        } else {
+            if (!ts_pair_greater(m.lamport_ts, m.sender, sym_watermark_.first,
+                                 sym_watermark_.second)) {
+                continue;
+            }
+            bump_clock(m.lamport_ts);
+            handle_sym_data(m, out);
+        }
+    }
+
+    // Release application traffic held during the flush into the new view.
+    const std::vector<MulticastRequest> held = std::move(flush_held_multicasts_);
+    flush_held_multicasts_.clear();
+    for (const auto& r : held) on_multicast(r, out);
+
     // If suspicions remain inside the new view (e.g. two members failed),
     // keep shrinking.
     if (!suspected_.empty()) maybe_propose_view(out);
+}
+
+// ---------------------------------------------------------------------------
+// View-synchronous flush
+//
+// Why: without a flush, a member excluded while its multicasts are in flight
+// can leave *correct* survivors disagreeing on the delivered prefix (one
+// survivor received and delivered the partial broadcast, another never saw
+// it). The flush makes installation view-synchronous: survivors freeze
+// old-view traffic, pool everything they can still supply, and deliver one
+// deterministically merged cut before the new view takes effect.
+//
+// Fault tolerance: rounds are keyed by proposal id. A survivor crashing
+// mid-flush triggers a re-propose with a higher id (existing suspicion
+// logic); enter_flush simply tracks the highest id, stale kFlushState /
+// kFlushDone messages fail the id check and are dropped, and install_view
+// erases every round at or below the installed id.
+// ---------------------------------------------------------------------------
+
+void GcService::enter_flush(std::uint64_t proposal_id, Out& out) {
+    if (proposal_id <= flush_pending_) return;
+    const bool entering = flush_pending_ == 0;
+    flush_pending_ = proposal_id;
+    if (!entering) return;  // re-propose while flushing: stay gated, higher id
+    FAILSIG_LOG(LogLevel::kDebug, GC)
+        << "member " << cfg_.self << " enters flush for proposal " << proposal_id;
+    if (cfg_.obs != nullptr) cfg_.obs->flush_begin(cfg_.obs_member);
+    // Tell the Invocation layer to hold new multicasts until the next kView.
+    Delivery d;
+    d.kind = Delivery::Kind::kFlushBegin;
+    deliver(std::move(d), out);
+}
+
+FlushState GcService::local_flush_state() const {
+    FlushState st;
+    st.sym_watermark_ts = sym_watermark_.first;
+    st.sym_watermark_sender = sym_watermark_.second;
+    st.asym_delivered = asym_next_deliver_ - 1;
+    // Everything we can still supply: undelivered buffers plus the retained
+    // log of recent deliveries (a peer may have missed what we delivered).
+    for (const auto& [key, m] : sym_retained_) st.entries.push_back(m);
+    for (const auto& [key, m] : sym_buffer_) st.entries.push_back(m);
+    for (const auto& [seq, m] : asym_retained_) st.entries.push_back(m);
+    for (const auto& [seq, m] : asym_buffer_) st.entries.push_back(m);
+    return st;
+}
+
+void GcService::merge_flush_state(FlushRound& round, MemberId sender, const FlushState& state) {
+    round.sym_marks[sender] = {state.sym_watermark_ts, state.sym_watermark_sender};
+    round.asym_marks[sender] = state.asym_delivered;
+    for (const auto& e : state.entries) {
+        if (e.kind == GcKind::kOrder) {
+            round.asym_entries.emplace(e.global_seq, e);
+        } else if (e.kind == GcKind::kData && e.service == ServiceType::kSymmetricTotalOrder) {
+            round.sym_entries.emplace(std::make_pair(e.lamport_ts, e.sender), e);
+        }
+        // Entries of any other kind are not flushable; ignore them.
+    }
+}
+
+void GcService::handle_flush_state(const GcMessage& msg, Out& out) {
+    if (msg.view_id != last_proposed_id_) return;  // stale round
+    const auto it = flush_rounds_.find(msg.view_id);
+    if (it == flush_rounds_.end()) return;
+    FlushRound& round = it->second;
+    if (std::find(round.members.begin(), round.members.end(), msg.sender) ==
+        round.members.end()) {
+        return;
+    }
+    if (round.states_received.contains(msg.sender)) return;  // duplicate
+    auto state = FlushState::decode(msg.payload);
+    if (!state.has_value()) return;
+    merge_flush_state(round, msg.sender, state.value());
+    round.states_received.insert(msg.sender);
+    if (cfg_.obs != nullptr) cfg_.obs->flush_message();
+    maybe_complete_flush(out);
+}
+
+void GcService::maybe_complete_flush(Out& out) {
+    if (flush_pending_ == 0 || flush_pending_ != last_proposed_id_) return;
+    const auto round_it = flush_rounds_.find(last_proposed_id_);
+    if (round_it == flush_rounds_.end()) return;
+    FlushRound& round = round_it->second;
+    const bool acked = std::all_of(proposed_members_.begin(), proposed_members_.end(),
+                                   [&](MemberId m) { return view_acks_.contains(m); });
+    const bool stated =
+        std::all_of(round.members.begin(), round.members.end(),
+                    [&](MemberId m) { return round.states_received.contains(m); });
+    if (!acked || !stated) return;
+
+    // The agreed cut: the union of everything any survivor can supply,
+    // pruned below the minimum watermark (if everyone delivered it, nobody
+    // needs it re-supplied). The floors travel in the cut for reference;
+    // each receiver applies entries above its *own* watermark.
+    std::pair<std::uint64_t, MemberId> sym_floor{~0ULL, ~0U};
+    std::uint64_t asym_floor = ~0ULL;
+    for (const auto m : round.members) {
+        const auto& mark = round.sym_marks[m];
+        if (ts_pair_greater(sym_floor.first, sym_floor.second, mark.first, mark.second)) {
+            sym_floor = mark;
+        }
+        asym_floor = std::min(asym_floor, round.asym_marks[m]);
+    }
+    FlushState cut;
+    cut.sym_watermark_ts = sym_floor.first;
+    cut.sym_watermark_sender = sym_floor.second;
+    cut.asym_delivered = asym_floor;
+    for (const auto& [key, m] : round.sym_entries) {
+        if (ts_pair_greater(key.first, key.second, sym_floor.first, sym_floor.second)) {
+            cut.entries.push_back(m);
+        }
+    }
+    for (const auto& [seq, m] : round.asym_entries) {
+        if (seq > asym_floor) cut.entries.push_back(m);
+    }
+
+    GcMessage done;
+    done.kind = GcKind::kFlushDone;
+    done.sender = cfg_.self;
+    done.view_id = last_proposed_id_;
+    // kFlushDone carries the membership and performs the install at the
+    // receiver: under FS the GC's outputs travel as independent signed
+    // streams, so a separate kViewInstall could overtake the cut.
+    done.view_members = round.members;
+    done.payload = cut.encode();
+    for (const auto m : round.members) {
+        if (m == cfg_.self) continue;
+        send_to(m, done, out);
+        if (cfg_.obs != nullptr) cfg_.obs->flush_message();
+    }
+    apply_cut(cut, out);
+    install_view(done.view_id, done.view_members, out);
+}
+
+void GcService::handle_flush_done(const GcMessage& msg, Out& out) {
+    highest_view_seen_ = std::max(highest_view_seen_, msg.view_id);
+    if (msg.view_id <= view_.view_id) return;
+    if (msg.view_id != flush_pending_) return;  // superseded by a re-propose
+    if (std::find(msg.view_members.begin(), msg.view_members.end(), cfg_.self) ==
+        msg.view_members.end()) {
+        return;
+    }
+    if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+    auto cut = FlushState::decode(msg.payload);
+    if (!cut.has_value()) return;
+    if (cfg_.obs != nullptr) cfg_.obs->flush_message();
+    apply_cut(cut.value(), out);
+    install_view(msg.view_id, msg.view_members, out);
+}
+
+void GcService::apply_cut(const FlushState& cut, Out& out) {
+    // Re-key the cut deterministically; entry order inside the frame is not
+    // trusted (the coordinator sorts, a corrupt frame might not).
+    std::map<std::pair<std::uint64_t, MemberId>, GcMessage> sym;
+    std::map<std::uint64_t, GcMessage> asym;
+    for (const auto& e : cut.entries) {
+        if (e.kind == GcKind::kOrder) {
+            asym.emplace(e.global_seq, e);
+        } else if (e.kind == GcKind::kData && e.service == ServiceType::kSymmetricTotalOrder) {
+            sym.emplace(std::make_pair(e.lamport_ts, e.sender), e);
+        }
+    }
+    std::uint64_t flushed = 0;
+    for (const auto& [key, m] : sym) {
+        if (!ts_pair_greater(key.first, key.second, sym_watermark_.first,
+                             sym_watermark_.second)) {
+            continue;  // already delivered locally, pre-flush
+        }
+        Delivery d;
+        d.sender = m.sender;
+        d.service = ServiceType::kSymmetricTotalOrder;
+        d.sender_seq = m.sender_seq;
+        d.payload = m.payload;
+        sym_watermark_ = key;
+        bump_clock(m.lamport_ts);
+        deliver(std::move(d), out);
+        ++flushed;
+    }
+    for (const auto& [seq, m] : asym) {
+        highest_order_seen_ = std::max(highest_order_seen_, seq);
+        asym_next_assign_ = std::max(asym_next_assign_, highest_order_seen_ + 1);
+        if (seq < asym_next_deliver_) continue;  // already delivered locally
+        Delivery d;
+        d.sender = m.origin;
+        d.service = ServiceType::kAsymmetricTotalOrder;
+        d.sender_seq = m.sender_seq;
+        d.payload = m.payload;
+        asym_next_deliver_ = seq + 1;
+        deliver(std::move(d), out);
+        ++flushed;
+    }
+    // Anything we still buffered was in our own FlushState, hence in the
+    // cut: the loops above either delivered it or skipped it as already
+    // delivered. Clear, so no pre-cut entry resurfaces in the new view.
+    sym_buffer_.clear();
+    asym_buffer_.clear();
+    if (cfg_.obs != nullptr && flushed != 0) cfg_.obs->flushed_deliveries(flushed);
+}
+
+void GcService::prune_sym_retained() {
+    if (sym_retained_.empty()) return;
+    // Drop retained deliveries once every current member's piggybacked
+    // watermark has passed them: nobody can need them re-supplied.
+    std::pair<std::uint64_t, MemberId> floor = sym_watermark_;
+    for (const auto m : view_.members) {
+        if (m == cfg_.self) continue;
+        const auto it = peer_watermark_.find(m);
+        const std::pair<std::uint64_t, MemberId> mark =
+            it == peer_watermark_.end() ? std::pair<std::uint64_t, MemberId>{0, 0}
+                                        : it->second;
+        if (ts_pair_greater(floor.first, floor.second, mark.first, mark.second)) floor = mark;
+    }
+    while (!sym_retained_.empty()) {
+        const auto& key = sym_retained_.begin()->first;
+        if (ts_pair_greater(key.first, key.second, floor.first, floor.second)) break;
+        sym_retained_.erase(sym_retained_.begin());
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -69,6 +69,9 @@ public:
     [[nodiscard]] std::uint64_t views_installed() const { return views_installed_; }
     [[nodiscard]] const std::set<MemberId>& suspected() const { return suspected_; }
     [[nodiscard]] std::size_t symmetric_backlog() const { return sym_buffer_.size(); }
+    /// True while a view-change flush round is in progress (new application
+    /// traffic is held and the symmetric stream is deferred).
+    [[nodiscard]] bool flushing() const { return flush_pending_ != 0; }
 
 private:
     using Out = std::vector<fs::Outbound>;
@@ -103,6 +106,27 @@ private:
     void handle_view_ack(const GcMessage& msg, Out& out);
     void handle_view_install(const GcMessage& msg, Out& out);
     void install_view(std::uint64_t view_id, std::vector<MemberId> members, Out& out);
+
+    // view-synchronous flush
+    /// Coordinator-side accumulator for one flush round. Rounds are keyed by
+    /// proposal id in flush_rounds_ so a re-propose (survivor crashed
+    /// mid-flush) starts a fresh round and stale states are discarded.
+    struct FlushRound {
+        std::vector<MemberId> members;
+        std::set<MemberId> states_received;
+        std::map<std::pair<std::uint64_t, MemberId>, GcMessage> sym_entries;
+        std::map<std::uint64_t, GcMessage> asym_entries;
+        std::map<MemberId, std::pair<std::uint64_t, MemberId>> sym_marks;
+        std::map<MemberId, std::uint64_t> asym_marks;
+    };
+    void enter_flush(std::uint64_t proposal_id, Out& out);
+    [[nodiscard]] FlushState local_flush_state() const;
+    void merge_flush_state(FlushRound& round, MemberId sender, const FlushState& state);
+    void handle_flush_state(const GcMessage& msg, Out& out);
+    void handle_flush_done(const GcMessage& msg, Out& out);
+    void maybe_complete_flush(Out& out);
+    void apply_cut(const FlushState& cut, Out& out);
+    void prune_sym_retained();
 
     // helpers
     void send_to(MemberId member, const GcMessage& msg, Out& out);
@@ -147,6 +171,29 @@ private:
     std::vector<MemberId> proposed_members_;
     std::set<MemberId> view_acks_;
     std::uint64_t highest_view_seen_{0};
+
+    // view-synchronous flush
+    /// Proposal id currently being flushed (0 = not flushing). While set, new
+    /// multicasts are held in flush_held_multicasts_ and the resequenced sym
+    /// DATA/ACK stream is parked in flush_deferred_ instead of mutating
+    /// ordering state, so the FlushState we announced stays accurate.
+    std::uint64_t flush_pending_{0};
+    std::map<std::uint64_t, FlushRound> flush_rounds_;
+    std::vector<GcMessage> flush_deferred_;
+    std::vector<MulticastRequest> flush_held_multicasts_;
+    /// Highest symmetric (lamport_ts, sender) position delivered locally.
+    std::pair<std::uint64_t, MemberId> sym_watermark_{0, 0};
+    /// Recently delivered messages retained for flush patch-up: a survivor
+    /// may have delivered a message a correct peer never received, so flush
+    /// states must be able to re-supply delivered bodies, not just buffered
+    /// ones. Pruned as ACK-piggybacked peer watermarks advance (sym) or by a
+    /// hard cap (both); cleared on view install — retention spans one epoch.
+    std::map<std::pair<std::uint64_t, MemberId>, GcMessage> sym_retained_;
+    std::map<std::uint64_t, GcMessage> asym_retained_;
+    /// Peers' delivery watermarks, piggybacked on sym ACKs.
+    std::map<MemberId, std::pair<std::uint64_t, MemberId>> peer_watermark_;
+    static constexpr std::size_t kSymRetainedCap = 4096;
+    static constexpr std::size_t kAsymRetainedCap = 1024;
 
     std::uint64_t delivered_count_{0};
     std::uint64_t views_installed_{0};

@@ -70,6 +70,11 @@ protected:
     /// unit to the GC below (plain local GC / FS-wrapped GC pair).
     virtual void do_multicast(ServiceType service, Bytes payload) = 0;
 
+    /// Gate in front of do_multicast: while a view-change flush is running
+    /// (kFlushBegin seen, next kView not yet) ordered units queue here and
+    /// drain into the new view on install.
+    void submit_unit(ServiceType service, Bytes unit);
+
     /// Common unmarshalling/re-sequencing/upcall path used by both variants.
     void handle_delivery_bytes(const Bytes& body);
     void upcall(const Delivery& d);
@@ -94,6 +99,9 @@ private:
     /// Service class of the open batch; a submit with a different class
     /// flushes first (batches never mix ordering semantics).
     ServiceType batch_service_{ServiceType::kSymmetricTotalOrder};
+    /// View-change flush gate state (see submit_unit).
+    bool flush_gated_{false};
+    std::vector<std::pair<ServiceType, Bytes>> gated_units_;
 };
 
 /// Invocation service of the original, crash-tolerant NewTOP.

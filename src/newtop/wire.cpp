@@ -32,7 +32,7 @@ Result<GcMessage> GcMessage::decode(std::span<const std::uint8_t> data) {
         ByteReader r(data);
         GcMessage m;
         const auto kind_raw = r.u8();
-        if (kind_raw < 1 || kind_raw > 6) return Result<GcMessage>::err("bad GcKind");
+        if (kind_raw < 1 || kind_raw > 8) return Result<GcMessage>::err("bad GcKind");
         m.kind = static_cast<GcKind>(kind_raw);
         m.sender = r.u32();
         m.stream_seq = r.u64();
@@ -57,6 +57,49 @@ Result<GcMessage> GcMessage::decode(std::span<const std::uint8_t> data) {
         return m;
     } catch (const std::out_of_range&) {
         return Result<GcMessage>::err("truncated GcMessage");
+    }
+}
+
+std::size_t FlushState::wire_size() const {
+    std::size_t size = 8 + 4 + 8 + 4;
+    for (const auto& entry : entries) size += 4 + entry.wire_size();
+    return size;
+}
+
+Bytes FlushState::encode() const {
+    ByteWriter w;
+    w.reserve(wire_size());
+    w.u64(sym_watermark_ts);
+    w.u32(sym_watermark_sender);
+    w.u64(asym_delivered);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& entry : entries) w.bytes(entry.encode());
+    return w.take();
+}
+
+Result<FlushState> FlushState::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        FlushState st;
+        st.sym_watermark_ts = r.u64();
+        st.sym_watermark_sender = r.u32();
+        st.asym_delivered = r.u64();
+        const auto count = r.u32();
+        // A flush cut spans one view epoch's in-flight window; anything past
+        // this bound is a corrupt frame, not a bigger group.
+        if (count > 65536) return Result<FlushState>::err("implausible flush entry count");
+        st.entries.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            auto inner = GcMessage::decode(r.bytes());
+            if (!inner.has_value()) {
+                return Result<FlushState>::err("bad flush entry: " + inner.error().message);
+            }
+            st.entries.push_back(std::move(inner).value());
+        }
+        if (!r.done()) return Result<FlushState>::err("trailing bytes in FlushState");
+        return st;
+    } catch (const std::out_of_range&) {
+        return Result<FlushState>::err("truncated FlushState");
     }
 }
 
@@ -109,7 +152,7 @@ Result<Delivery> Delivery::decode(std::span<const std::uint8_t> data) {
         ByteReader r(data);
         Delivery d;
         const auto kind_raw = r.u8();
-        if (kind_raw < 1 || kind_raw > 2) return Result<Delivery>::err("bad Delivery kind");
+        if (kind_raw < 1 || kind_raw > 3) return Result<Delivery>::err("bad Delivery kind");
         d.kind = static_cast<Kind>(kind_raw);
         d.delivery_seq = r.u64();
         d.sender = r.u32();

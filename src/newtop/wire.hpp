@@ -18,6 +18,8 @@ enum class GcKind : std::uint8_t {
     kViewPropose = 4,  ///< coordinator proposes a new view
     kViewAck = 5,      ///< member accepts a proposed view
     kViewInstall = 6,  ///< coordinator finalizes the view
+    kFlushState = 7,   ///< survivor -> coordinator: FlushState for a proposal
+    kFlushDone = 8,    ///< coordinator -> survivors: agreed cut, then install
 };
 
 /// One GC-to-GC protocol message. A single struct with optional fields keeps
@@ -46,7 +48,9 @@ struct GcMessage {
     std::uint64_t global_seq{0};
     MemberId origin{0};            ///< original sender of the ordered message
 
-    // kViewPropose / kViewAck / kViewInstall
+    // kViewPropose / kViewAck / kViewInstall / kFlushState / kFlushDone
+    // (kFlushState and kFlushDone carry an encoded FlushState in `payload`;
+    // nesting keeps every pre-flush message kind byte-identical on the wire)
     std::uint64_t view_id{0};
     std::vector<MemberId> view_members;
 
@@ -56,6 +60,30 @@ struct GcMessage {
     static Result<GcMessage> decode(std::span<const std::uint8_t> data);
 
     friend bool operator==(const GcMessage&, const GcMessage&) = default;
+};
+
+/// View-synchronous flush exchange. On a view proposal every survivor sends
+/// the coordinator its FlushState (kFlushState payload): its delivery
+/// watermarks plus every old-view message it still buffers or recently
+/// delivered, full bodies included. The coordinator merges the states into
+/// one agreed cut — the same structure, entries deduplicated and pruned to
+/// what some survivor still lacks — and fans it back out (kFlushDone
+/// payload). Entries are whole GcMessages: symmetric kData records keyed by
+/// (lamport_ts, sender) and asymmetric kOrder records keyed by global_seq.
+struct FlushState {
+    /// Highest symmetric (lamport_ts, sender) position delivered locally.
+    std::uint64_t sym_watermark_ts{0};
+    MemberId sym_watermark_sender{0};
+    /// Highest asymmetric global sequence delivered locally (0 = none).
+    std::uint64_t asym_delivered{0};
+    /// Old-view messages available for the cut (sym kData / asym kOrder).
+    std::vector<GcMessage> entries;
+
+    [[nodiscard]] std::size_t wire_size() const;
+    [[nodiscard]] Bytes encode() const;
+    static Result<FlushState> decode(std::span<const std::uint8_t> data);
+
+    friend bool operator==(const FlushState&, const FlushState&) = default;
 };
 
 /// What the application hands to the Invocation service.
@@ -70,7 +98,10 @@ struct MulticastRequest {
 
 /// What the GC delivers up to the application layer.
 struct Delivery {
-    enum class Kind : std::uint8_t { kMessage = 1, kView = 2 };
+    /// kFlushBegin tells the Invocation layer a view-change flush started:
+    /// it buffers new multicasts until the next kView delivery (the install)
+    /// releases them. Never surfaced to the application.
+    enum class Kind : std::uint8_t { kMessage = 1, kView = 2, kFlushBegin = 3 };
     Kind kind{Kind::kMessage};
 
     /// Position in the GC's delivery stream (1, 2, 3, ...). The Invocation

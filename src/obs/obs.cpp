@@ -50,6 +50,37 @@ void Obs::crypto_verify(Duration simulated_cost) {
 
 void Obs::holdback_depth(std::int64_t depth) { holdback_depth_hist_.add(depth); }
 
+void Obs::flush_begin(int member) {
+    flush_started_[member] = now();
+    flight_.record(member, now(), "view flush begin");
+}
+
+void Obs::flush_end(int member) {
+    const auto it = flush_started_.find(member);
+    if (it == flush_started_.end()) return;  // install without a flush round
+    if (flush_duration_us_ == nullptr) {
+        flush_duration_us_ = &metrics_.histogram("view.flush_duration_us");
+    }
+    const TimePoint started = it->second;
+    flush_started_.erase(it);
+    flush_duration_us_->add(static_cast<std::int64_t>(now() - started));
+    flight_.record(member, now(), "view flush end");
+}
+
+void Obs::flush_message() {
+    if (flush_messages_ == nullptr) {
+        flush_messages_ = &metrics_.counter("view.flush_messages");
+    }
+    flush_messages_->inc();
+}
+
+void Obs::flushed_deliveries(std::uint64_t n) {
+    if (flushed_deliveries_ == nullptr) {
+        flushed_deliveries_ = &metrics_.counter("view.flushed_deliveries");
+    }
+    flushed_deliveries_->inc(n);
+}
+
 std::string Obs::metrics_json(const std::string& scenario) const {
     return metrics_.to_json(scenario, now());
 }

@@ -73,6 +73,17 @@ public:
     /// Queue-depth sample from the GC's symmetric holdback buffers.
     void holdback_depth(std::int64_t depth);
 
+    /// View-change flush round lifecycle for `member`'s GC: begin on entering
+    /// the flushing state, end on installing the view. The elapsed sim time
+    /// lands in the view.flush_duration_us histogram; state/done traffic and
+    /// cut deliveries count into view.flush_messages / view.flushed_deliveries.
+    /// Flush instruments register lazily on first use so runs that never
+    /// change views (every fault-free campaign) export unchanged snapshots.
+    void flush_begin(int member);
+    void flush_end(int member);
+    void flush_message();
+    void flushed_deliveries(std::uint64_t n);
+
     /// The exported snapshot ("failsig-metrics-v1"); sim-tick stamped.
     [[nodiscard]] std::string metrics_json(const std::string& scenario) const;
 
@@ -84,6 +95,11 @@ private:
     Histogram& sign_us_;
     Histogram& verify_us_;
     Histogram& holdback_depth_hist_;
+    // Lazily bound flush instruments (see flush_begin).
+    Histogram* flush_duration_us_{nullptr};
+    Counter* flush_messages_{nullptr};
+    Counter* flushed_deliveries_{nullptr};
+    std::map<int, TimePoint> flush_started_;
 };
 
 }  // namespace failsig::obs

@@ -87,12 +87,14 @@ TEST(ExploreGeneration, EpisodesCarryASchedulePerturbationAndABoundedScript) {
     }
 }
 
-TEST(ExploreGeneration, SoundGrammarNeverMixesMemberFaultsWithDenseTraffic) {
-    // The gate behind FaultGrammar::exclusive_traffic_and_member_faults:
-    // FS-NewTOP episodes may contain member faults or loads/bursts, not both
-    // (guards the known view-change flush gap, see ROADMAP).
+TEST(ExploreGeneration, ExclusiveOverlapKnobStillQuarantines) {
+    // FaultGrammar::exclusive_traffic_and_member_faults defaults to false
+    // since the view-synchronous flush landed, but the historical quarantine
+    // must stay reproducible: with the knob forced on, FS-NewTOP episodes
+    // may contain member faults or loads/bursts, never both.
     ExploreConfig config = small_config();
     config.grammar.max_fault_events = 5;
+    config.grammar.exclusive_traffic_and_member_faults = true;
     for (int e = 0; e < 40; ++e) {
         const Scenario s = generate_episode(config, SystemKind::kFsNewTop, 3, 1, e);
         bool member_fault = false;
@@ -104,6 +106,28 @@ TEST(ExploreGeneration, SoundGrammarNeverMixesMemberFaultsWithDenseTraffic) {
         }
         EXPECT_FALSE(member_fault && dense) << to_spec(s);
     }
+}
+
+TEST(ExploreGeneration, DefaultGrammarDrawsMemberFaultsUnderDenseTraffic) {
+    // The overlap the quarantine used to forbid is the flush protocol's
+    // hardest axis; the default grammar must actually exercise it, or the
+    // clean-smoke gate stops meaning anything for view-synchrony.
+    ExploreConfig config = small_config();
+    config.grammar.max_fault_events = 5;
+    ASSERT_FALSE(config.grammar.exclusive_traffic_and_member_faults);
+    bool overlapped = false;
+    for (int e = 0; e < 80 && !overlapped; ++e) {
+        const Scenario s = generate_episode(config, SystemKind::kFsNewTop, 3, 1, e);
+        bool member_fault = false;
+        bool dense = false;
+        for (const auto& event : s.timeline) {
+            member_fault = member_fault || event.is_member_fault();
+            dense = dense || event.kind == ScenarioEvent::Kind::kLoad ||
+                    event.kind == ScenarioEvent::Kind::kBurst;
+        }
+        overlapped = member_fault && dense;
+    }
+    EXPECT_TRUE(overlapped) << "80 episodes never mixed member faults with dense traffic";
 }
 
 // --- determinism across job counts --------------------------------------------
@@ -360,15 +384,15 @@ TEST(ExploreSpec, RejectsMalformedSpecsLoudly) {
 
 // --- the checked-in fixture ----------------------------------------------------
 
-TEST(ExploreFixture, FlushGapReproducerStillReproduces) {
-    // The explorer's first real finding, minimized by the shrinker and
-    // checked in: excluding a member while its multicasts are in flight
-    // violates prefix agreement between survivors, because the GC installs
-    // views without a flush round (ROADMAP open item). If this test starts
-    // FAILING because the violation no longer reproduces, a flush protocol
-    // probably landed: celebrate, move the fixture to a passing regression,
-    // and re-enable member-fault × dense-traffic overlap in the default
-    // grammar (FaultGrammar::exclusive_traffic_and_member_faults).
+TEST(ExploreFixture, FlushGapScenarioNowPassesAgreement) {
+    // The explorer's first real finding, minimized by the shrinker: before
+    // the view-synchronous flush landed, excluding a member while its
+    // multicasts were in flight violated prefix agreement between survivors
+    // (the GC installed views without a flush round). The fixture is kept as
+    // a permanent regression: the exact schedule that used to split the
+    // delivered prefixes must now sail through every invariant. Its
+    // expect_violation line is gone, so `explore_cli --replay` holds it to
+    // the all-invariants-pass bar too.
     const std::string path =
         std::string(FAILSIG_SOURCE_DIR) + "/tests/fixtures/flush_gap_agreement.scenario";
     std::ifstream in(path);
@@ -378,14 +402,19 @@ TEST(ExploreFixture, FlushGapReproducerStillReproduces) {
 
     const auto parsed = parse_spec(buffer.str());
     ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
-    EXPECT_EQ(parsed.value().expect_violation, "agreement");
+    EXPECT_TRUE(parsed.value().expect_violation.empty())
+        << "fixture should be a passing regression now, not an expected violation";
     EXPECT_EQ(parsed.value().scenario.system, SystemKind::kFsNewTop);
 
     const auto results = run_and_evaluate(parsed.value().scenario, {});
     const auto* verdict = scenario::find_result(results, "agreement");
     ASSERT_NE(verdict, nullptr);
-    EXPECT_FALSE(verdict->passed) << "the flush gap no longer reproduces — see the "
-                                     "comment at the top of this test";
+    EXPECT_TRUE(verdict->passed) << verdict->detail
+                                 << " — the view-change flush regressed: the checked-in "
+                                    "schedule splits survivor prefixes again";
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.passed) << r.name << ": " << r.detail;
+    }
 }
 
 }  // namespace

@@ -70,6 +70,129 @@ TEST(NewTopWire, TruncationRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// FlushState codec fuzz corpus. Flush frames cross the network during the
+// most delicate protocol phase and nest full GcMessages, so the decoder
+// gets the same ASan-checked totality treatment as Batch::decode: garbage,
+// every truncation, hostile count fields, and bit-flipped valid frames must
+// decode to a value or an error — never crash, never over-read.
+// ---------------------------------------------------------------------------
+
+GcMessage flush_sym_entry(MemberId sender, std::uint64_t ts, const std::string& text) {
+    GcMessage m;
+    m.kind = GcKind::kData;
+    m.sender = sender;
+    m.stream_seq = ts;
+    m.service = ServiceType::kSymmetricTotalOrder;
+    m.sender_seq = ts;
+    m.lamport_ts = ts;
+    m.payload = bytes_of(text);
+    return m;
+}
+
+FlushState sample_flush_state() {
+    FlushState st;
+    st.sym_watermark_ts = 41;
+    st.sym_watermark_sender = 2;
+    st.asym_delivered = 7;
+    st.entries.push_back(flush_sym_entry(0, 42, "a"));
+    st.entries.push_back(flush_sym_entry(1, 43, "bb"));
+    GcMessage order;
+    order.kind = GcKind::kOrder;
+    order.sender = 1;
+    order.service = ServiceType::kAsymmetricTotalOrder;
+    order.sender_seq = 2;
+    order.global_seq = 8;
+    order.origin = 3;
+    order.payload = bytes_of("ccc");
+    st.entries.push_back(order);
+    return st;
+}
+
+/// Totality oracle: whatever decodes must re-encode byte-identically
+/// (decode is the inverse of encode on its accepting set); whatever fails
+/// must carry a diagnosis.
+void expect_total_flush_decode(const Bytes& input) {
+    const auto result = FlushState::decode(input);
+    if (result.has_value()) {
+        EXPECT_EQ(result.value().encode(), input);
+    } else {
+        EXPECT_FALSE(result.error().message.empty());
+    }
+}
+
+TEST(FlushStateCodecFuzz, RoundTripsIncludingEmptyCut) {
+    const FlushState st = sample_flush_state();
+    const auto decoded = FlushState::decode(st.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value(), st);
+
+    const FlushState empty;
+    const auto empty_decoded = FlushState::decode(empty.encode());
+    ASSERT_TRUE(empty_decoded.has_value());
+    EXPECT_EQ(empty_decoded.value(), empty);
+}
+
+TEST(FlushStateCodecFuzz, RandomGarbageNeverCrashesTheDecoder) {
+    Rng rng(0xf1005eedULL);
+    for (int round = 0; round < 2000; ++round) {
+        Bytes noise(rng.uniform(160), 0);
+        for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform(256));
+        expect_total_flush_decode(noise);
+    }
+}
+
+TEST(FlushStateCodecFuzz, EveryTruncationOfAValidFrameIsRejected) {
+    const Bytes frame = sample_flush_state().encode();
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+        const Bytes prefix(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(cut));
+        const auto result = FlushState::decode(prefix);
+        EXPECT_FALSE(result.has_value()) << "prefix of " << cut << " bytes decoded";
+    }
+}
+
+TEST(FlushStateCodecFuzz, HostileCountFieldsAreErrorsNotOverReads) {
+    // Entry count sits after the two watermarks (8 + 4 + 8 bytes in).
+    Bytes frame = sample_flush_state().encode();
+    const std::size_t count_at = 20;
+    for (const std::uint32_t hostile : {70000u, 0xFFFFFFFFu}) {
+        Bytes bad = frame;
+        bad[count_at] = static_cast<std::uint8_t>(hostile);
+        bad[count_at + 1] = static_cast<std::uint8_t>(hostile >> 8);
+        bad[count_at + 2] = static_cast<std::uint8_t>(hostile >> 16);
+        bad[count_at + 3] = static_cast<std::uint8_t>(hostile >> 24);
+        EXPECT_FALSE(FlushState::decode(bad).has_value());
+    }
+
+    // An oversized view-member list inside a nested entry must surface as a
+    // bad-entry error, not an allocation storm. view_members is the last
+    // GcMessage field, so its little-endian count sits 16 bytes before the
+    // end of the frame (4 count bytes + 3 members x 4 bytes).
+    GcMessage entry = flush_sym_entry(0, 1, "x");
+    entry.view_members = {0, 1, 2};
+    FlushState st;
+    st.entries.push_back(entry);
+    Bytes wire = st.encode();
+    const std::size_t inner_count_at = wire.size() - 16;
+    ASSERT_EQ(wire[inner_count_at], 3u) << "fixture drifted: inner count not where expected";
+    wire[inner_count_at + 3] = 0xFF;  // count becomes ~4 billion
+    EXPECT_FALSE(FlushState::decode(wire).has_value());
+}
+
+TEST(FlushStateCodecFuzz, RandomMutationsOfValidFramesDecodeTotally) {
+    Rng rng(0xdeadf1005);
+    const Bytes frame = sample_flush_state().encode();
+    for (int round = 0; round < 1000; ++round) {
+        Bytes mutated = frame;
+        const int flips = 1 + static_cast<int>(rng.uniform(4));
+        for (int f = 0; f < flips; ++f) {
+            mutated[rng.uniform(mutated.size())] ^=
+                static_cast<std::uint8_t>(1u << rng.uniform(8));
+        }
+        expect_total_flush_decode(mutated);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // In-memory protocol harness: drives GcService instances directly, with
 // randomized cross-link interleaving but FIFO per directed link (matching
 // the reliable-FIFO channel assumption).
@@ -147,7 +270,9 @@ private:
                     ASSERT_TRUE(d.has_value());
                     if (d.value().kind == Delivery::Kind::kView) {
                         views_[static_cast<std::size_t>(from)].push_back(d.value().view);
-                    } else {
+                    } else if (d.value().kind == Delivery::Kind::kMessage) {
+                        // kFlushBegin is protocol-internal (Invocation-layer
+                        // gating); only real messages count here.
                         deliveries_[static_cast<std::size_t>(from)].push_back(
                             std::to_string(d.value().sender) + ":" +
                             string_of(d.value().payload));
@@ -413,6 +538,116 @@ TEST(Membership, ViewDeliveryReportedToApplication) {
     h.run();
     ASSERT_FALSE(h.views(0).empty());
     EXPECT_EQ(h.views(0).back().members, (std::vector<MemberId>{0, 1}));
+}
+
+// --- view-synchronous flush ------------------------------------------------
+
+TEST(ViewFlush, PatchesSurvivorThatMissedAnInFlightMulticast) {
+    // The agreement hole the flush closes: member 2's broadcast reaches
+    // members 0 and 1 but the copy to 3 is lost when 2 crashes
+    // mid-broadcast. Without a flush the survivors install the new view with
+    // the message buffered at 0/1 and absent at 3 forever. The flush cut
+    // must re-supply it so every survivor delivers it.
+    Harness h(4, 7);
+    h.disconnect(2, 3);  // 2 crashes before its copy to 3 leaves the node
+    h.multicast(2, ServiceType::kSymmetricTotalOrder, "inflight");
+    h.run();
+    EXPECT_TRUE(h.delivered(3).empty());
+
+    h.disconnect(0, 2);
+    h.disconnect(1, 2);
+    h.suspect(0, 2);
+    h.suspect(1, 2);
+    h.suspect(3, 2);
+    h.run();
+
+    const std::vector<std::string> want{"2:inflight"};
+    for (const int i : {0, 1, 3}) {
+        EXPECT_EQ(h.delivered(i), want) << "member " << i;
+        ASSERT_FALSE(h.views(i).empty()) << "member " << i;
+        EXPECT_EQ(h.views(i).back().members, (std::vector<MemberId>{0, 1, 3}));
+        EXPECT_FALSE(h.member(i).flushing());
+    }
+
+    // Total order resumes in the installed view.
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "after");
+    h.run();
+    const std::vector<std::string> want_after{"2:inflight", "0:after"};
+    for (const int i : {0, 1, 3}) {
+        EXPECT_EQ(h.delivered(i), want_after) << "member " << i;
+    }
+}
+
+TEST(ViewFlush, RetainedLogPatchesLaggardThatMissedADeliveredMessage) {
+    // Harder variant: the in-flight message STABILIZES and is delivered at
+    // members 0 and 1 before the view change (member 3's clock advances via
+    // its ack of a later message), while 3 never receives it. Patching 3
+    // requires the retained log of already-delivered messages, not just the
+    // undelivered buffers.
+    Harness h(4, 11);
+    h.disconnect(2, 3);
+    h.multicast(2, ServiceType::kSymmetricTotalOrder, "m");
+    h.run();
+    h.multicast(1, ServiceType::kSymmetricTotalOrder, "y");
+    h.run();
+
+    // 2's ack of "y" follows "m" in its FIFO stream, so 3 (missing "m")
+    // resequences it into the holdback: "y" cannot stabilize at 3, and the
+    // pre-flush states diverge exactly as a crash mid-broadcast allows.
+    EXPECT_EQ(h.delivered(0), (std::vector<std::string>{"2:m", "1:y"}));
+    EXPECT_EQ(h.delivered(1), (std::vector<std::string>{"2:m", "1:y"}));
+    EXPECT_TRUE(h.delivered(3).empty());
+
+    h.disconnect(0, 2);
+    h.disconnect(1, 2);
+    h.suspect(0, 2);
+    h.suspect(1, 2);
+    h.run();
+
+    const std::vector<std::string> want{"2:m", "1:y"};
+    for (const int i : {0, 1, 3}) {
+        EXPECT_EQ(h.delivered(i), want) << "member " << i;
+        ASSERT_FALSE(h.views(i).empty()) << "member " << i;
+        EXPECT_EQ(h.views(i).back().members, (std::vector<MemberId>{0, 1, 3}));
+    }
+}
+
+TEST(ViewFlush, SurvivorCrashMidFlushReproposesWithHigherViewId) {
+    // Flush rounds are keyed by proposal id: when a survivor dies before
+    // answering, suspicion re-proposes with a higher id and the stale round
+    // is discarded — the flush must not wedge the group.
+    Harness h(4, 13);
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "pre");
+    h.run();
+
+    // Member 3 crashes; member 1 crashes too, before it can answer the
+    // first flush round.
+    for (const int alive : {0, 1, 2}) h.disconnect(alive, 3);
+    h.disconnect(0, 1);
+    h.disconnect(2, 1);
+    h.suspect(0, 3);
+    h.suspect(2, 3);
+    h.run();
+    // The {0,1,2} round stalls waiting on 1: survivors are mid-flush.
+    EXPECT_TRUE(h.member(0).flushing());
+
+    // Application traffic submitted mid-flush is held, not lost.
+    h.multicast(0, ServiceType::kSymmetricTotalOrder, "during");
+    h.run();
+    EXPECT_EQ(h.delivered(0), (std::vector<std::string>{"0:pre"}));
+
+    h.suspect(0, 1);
+    h.suspect(2, 1);
+    h.run();
+
+    const std::vector<std::string> want{"0:pre", "0:during"};
+    for (const int i : {0, 2}) {
+        EXPECT_EQ(h.delivered(i), want) << "member " << i;
+        ASSERT_FALSE(h.views(i).empty()) << "member " << i;
+        EXPECT_EQ(h.views(i).back().members, (std::vector<MemberId>{0, 2}));
+        EXPECT_FALSE(h.member(i).flushing()) << "member " << i;
+    }
+    EXPECT_GE(h.views(0).back().view_id, 3u);
 }
 
 // ---------------------------------------------------------------------------
