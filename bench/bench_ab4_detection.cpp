@@ -67,8 +67,8 @@ Duration newtop_detection_time(Duration suspect_timeout, std::uint64_t seed) {
 
     d.sim().run_until(300 * kMillisecond);
     const TimePoint crash = d.sim().now();
-    d.network().block(d.node_of(2), d.node_of(0));
-    d.network().block(d.node_of(2), d.node_of(1));
+    d.faults().block(d.node_of(2), d.node_of(0));
+    d.faults().block(d.node_of(2), d.node_of(1));
 
     TimePoint detected = -1;
     while (d.sim().now() < crash + 60 * kSecond) {
@@ -93,7 +93,7 @@ bool newtop_splits_under_surge(Duration suspect_timeout, Duration surge, std::ui
     newtop::NewTopDeployment d(opts);
 
     d.sim().run_until(300 * kMillisecond);
-    d.network().delay_surge(surge, d.sim().now() + 3 * kSecond);
+    d.faults().delay_surge(surge, d.sim().now() + 3 * kSecond);
     d.sim().run_until(d.sim().now() + 8 * kSecond);
     d.stop_suspectors();
     d.sim().run();

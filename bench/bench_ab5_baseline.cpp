@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
         opts.seed = seed;
         baseline::PbftDeployment d(opts);
         for (baseline::ReplicaId r = 1; r < 4; ++r) {
-            d.network().block(d.node_of(0), d.node_of(r));  // primary silent
+            d.faults().block(d.node_of(0), d.node_of(r));  // primary silent
         }
         d.submit(1, bytes_of("stuck"));
         d.sim().run();
@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
         fsnewtop::FsNewTopDeployment d(opts);
         d.invocation(0).multicast(newtop::ServiceType::kSymmetricTotalOrder, bytes_of("warm"));
         d.sim().run();
-        d.network().block(NodeId{3}, NodeId{4});  // member 1's pair link dies
+        d.faults().block(NodeId{3}, NodeId{4});  // member 1's pair link dies
         d.invocation(0).multicast(newtop::ServiceType::kSymmetricTotalOrder, bytes_of("go"));
         d.sim().run_until(d.sim().now() + 120 * kSecond);
         const bool excluded =

@@ -9,7 +9,9 @@
 // bytes; body encodes per multicast), and (c) the batching pipeline's
 // amortization measurement: the pinned FS-NewTOP n=4 cell run unbatched vs
 // BatchConfig{max_requests=8}, with the signature-verify and
-// delivered-requests-per-round ratios in the JSON.
+// delivered-requests-per-round ratios in the JSON — plus (d) the real-socket
+// section: the open-loop load generator pointed at the TCP backend, giving
+// wall-clock localhost throughput/latency for all three stacks.
 //
 // Output is BENCH_<PR>.json in the failsig-bench-v1 schema (documented in
 // EXPERIMENTS.md). Every later PR appends its own BENCH_*.json next to this
@@ -371,6 +373,71 @@ void bench_batching(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
+// Real-socket wall clock: the three stacks on localhost TCP
+// ---------------------------------------------------------------------------
+
+void bench_tcp_wallclock(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
+    // The PR-4 open-loop load generator pointed at the TCP backend: same
+    // Scenario, same Poisson arrivals, real sockets on localhost. Offered
+    // load and delivery counts stay pure functions of the seed (fault-free
+    // runs deliver everything), so they are honest facts; everything derived
+    // from *when* frames landed is machine- and interleaving-dependent and
+    // is reported through the informational wall-clock fields only. This is
+    // deliberately not a gated section — it is the repo's first real-time
+    // throughput/latency look at NewTOP vs FS-NewTOP vs PBFT.
+    const std::vector<scenario::SystemKind> systems = {scenario::SystemKind::kNewTop,
+                                                       scenario::SystemKind::kFsNewTop,
+                                                       scenario::SystemKind::kPbft};
+    w.begin_array("tcp_wallclock");
+    for (const auto system : systems) {
+        const int n = 4;  // one size valid for all three stacks (PBFT needs >= 4)
+        scenario::Scenario cell;
+        cell.system = system;
+        cell.group_size = n;
+        cell.backend = deploy::Backend::kTcp;
+        cell.seed = scenario::derive_cell_seed(seed, system, n);
+        cell.name = "tcp/" + std::string(scenario::name_of(system)) + "/n" +
+                    std::to_string(n);
+        cell.workload.msgs_per_member = 0;  // all input comes from the load phase
+        scenario::LoadSpec load;
+        load.rate = smoke ? 200.0 : 500.0;
+        load.duration = smoke ? 250 * kMillisecond : 2 * kSecond;
+        cell.timeline.push_back(
+            scenario::ScenarioEvent::load(10 * kMillisecond, load));
+
+        w.begin_object();
+        w.field("name", cell.name);
+        w.field("system", scenario::name_of(system));
+        w.field("group_size", n);
+        w.field("backend", "tcp");
+        const double start = now_ms();
+        const auto report = scenario::run_scenario(cell);
+        const double wall = now_ms() - start;
+        const auto& m = report.metrics;
+        const double wall_tput =
+            wall > 0 ? static_cast<double>(m.observed_deliveries) / (wall / 1000.0) : 0.0;
+        const double ms_per_delivery =
+            m.observed_deliveries > 0 ? wall / static_cast<double>(m.observed_deliveries)
+                                      : 0.0;
+        w.field("status", "ok");
+        w.field("requests_offered", m.messages_sent);
+        w.field("observed_deliveries", m.observed_deliveries);
+        w.field("expected_deliveries", m.expected_deliveries);
+        w.field("all_invariants_passed", report.all_invariants_passed());
+        w.field("wall_ms", wall);
+        w.field("wall_throughput_msg_s", wall_tput);
+        w.field("wall_ms_per_delivery", ms_per_delivery);
+        w.end_object();
+        std::printf("tcp  %-22s %6.0f deliveries/s wall | %.3f ms/delivery | "
+                    "%llu/%llu delivered | %.0f ms\n",
+                    cell.name.c_str(), wall_tput, ms_per_delivery,
+                    static_cast<unsigned long long>(m.observed_deliveries),
+                    static_cast<unsigned long long>(m.expected_deliveries), wall);
+    }
+    w.end_array();
+}
+
+// ---------------------------------------------------------------------------
 // Observability: disabled-instrumentation overhead and span-stage counters
 // ---------------------------------------------------------------------------
 
@@ -467,6 +534,7 @@ int main(int argc, char** argv) {
     bench_crypto(w, smoke, seed);
     bench_message_plane(w, smoke, seed);
     bench_sweep_cells(w, smoke, seed);
+    bench_tcp_wallclock(w, smoke, seed);
     bench_batching(w, smoke, seed);
     bench_obs(w, smoke, seed, metrics_out);
     w.end_object();

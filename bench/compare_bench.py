@@ -43,6 +43,11 @@ TIMING_KEYS = {
     # trace-identical bool and the span-stage counters.
     "wall_ms_obs_off",
     "wall_ms_obs_on",
+    # The tcp_wallclock section's real-socket numbers: throughput and latency
+    # on localhost TCP depend on the machine and the thread interleaving.
+    # The gated facts in that section are the offered/delivered counts.
+    "wall_throughput_msg_s",
+    "wall_ms_per_delivery",
 }
 
 # Floors the batching section must clear regardless of the baseline (the

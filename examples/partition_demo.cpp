@@ -33,7 +33,7 @@ int main() {
         std::printf("before surge: view at member 0 = %s\n",
                     newtop::to_string(d.gc(0).view()).c_str());
 
-        d.network().delay_surge(kSurge, d.sim().now() + 2 * kSecond);
+        d.faults().delay_surge(kSurge, d.sim().now() + 2 * kSecond);
         d.sim().run_until(d.sim().now() + 8 * kSecond);
         d.stop_suspectors();
         d.sim().run();
@@ -57,7 +57,7 @@ int main() {
         std::printf("before surge: view at member 0 = %s\n",
                     newtop::to_string(d.gc_leader(0).view()).c_str());
 
-        d.network().delay_surge(kSurge, d.sim().now() + 2 * kSecond);
+        d.faults().delay_surge(kSurge, d.sim().now() + 2 * kSecond);
         d.invocation(1).multicast(newtop::ServiceType::kSymmetricTotalOrder, bytes_of("during"));
         d.sim().run_until(d.sim().now() + 8 * kSecond);
         d.sim().run();

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "fs/client.hpp"
+#include "net/network.hpp"
 #include "fs/process.hpp"
 
 using namespace failsig;
@@ -52,7 +53,7 @@ int main() {
     orb::OrbDomain domain(sim, net, sim::CostModel{});
     crypto::KeyService keys(crypto::KeyService::Backend::kHmac);
     fs::FsDirectory directory;
-    fs::FsHost host(fs::FsRuntime{sim, net, domain, keys, directory});
+    fs::FsHost host(fs::FsRuntime{net, domain, keys, directory});
 
     // --- 1+2: create the FS process "counter" on nodes 1 and 2 -----------
     auto counter = host.create_process("counter", NodeId{1}, NodeId{2},

@@ -199,8 +199,25 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = cli.seed_set ? cli.seed : 7;
 
     auto campaigns = build_campaigns(seed);
-    std::printf("failsig scenario runner — %zu campaigns, seed %llu\n\n", campaigns.size(),
-                static_cast<unsigned long long>(seed));
+    // --only narrows the campaign list (CI runs just the load campaigns on
+    // TCP); --backend tcp reruns the surviving campaigns on real sockets.
+    if (!cli.only.empty()) {
+        std::erase_if(campaigns, [&](const Entry& e) {
+            return e.scenario.name.find(cli.only) == std::string::npos;
+        });
+        if (campaigns.empty()) {
+            std::fprintf(stderr, "no campaign name contains '%s'\n", cli.only.c_str());
+            return 1;
+        }
+    }
+    if (cli.backend == "tcp") {
+        for (auto& entry : campaigns) {
+            entry.scenario.backend = deploy::Backend::kTcp;
+        }
+    }
+    std::printf("failsig scenario runner — %zu campaigns, seed %llu%s\n\n", campaigns.size(),
+                static_cast<unsigned long long>(seed),
+                cli.backend == "tcp" ? ", backend tcp" : "");
 
     // --metrics-out turns observability on for every campaign. The report
     // bytes are unaffected (obs artifacts live outside to_json/to_csv).

@@ -110,8 +110,12 @@ private:
 };
 
 PbftDeployment::PbftDeployment(const PbftOptions& options)
-    : net_(sim_, Rng(options.seed), options.net_params),
-      domain_(sim_, net_, options.costs, options.threads_per_node),
+    : own_net_(options.env.external() ? nullptr
+                                      : std::make_unique<net::SimNetwork>(sim_, Rng(options.seed),
+                                                                          options.net_params)),
+      net_(net::transport_or(options.env, own_net_.get())),
+      faults_(net::faults_or(options.env, own_net_.get())),
+      domain_(net::sim_of_or(options.env, sim_), net_, options.costs, options.threads_per_node),
       obs_(options.obs) {
     const std::uint32_t n = options.replicas;
     ensure(n >= 4, "PbftDeployment: need at least 4 replicas");
@@ -148,8 +152,8 @@ PbftDeployment::PbftDeployment(const PbftOptions& options)
                 if (obs_ != nullptr) trace_flush(i, unit);
                 submit_unit(i, std::move(unit));
             },
-            [this](Duration delay, std::function<void()> fn) {
-                sim_.schedule_after(delay, std::move(fn));
+            [replica_sim = &orbs[i]->simulation()](Duration delay, std::function<void()> fn) {
+                replica_sim->schedule_after(delay, std::move(fn));
             }));
     }
 }
@@ -190,11 +194,14 @@ BatchStats PbftDeployment::batch_stats() const {
 }
 
 void PbftDeployment::fire_timeouts() {
-    for (auto& servant : replicas_) {
-        ByteWriter w;
-        w.u64(servant->replica().view());
-        servant->submit_local("timeout", w.take());
-    }
+    for (ReplicaId r = 0; r < replica_count(); ++r) fire_timeouts(r);
+}
+
+void PbftDeployment::fire_timeouts(ReplicaId at) {
+    auto& servant = replicas_.at(at);
+    ByteWriter w;
+    w.u64(servant->replica().view());
+    servant->submit_local("timeout", w.take());
 }
 
 PbftReplica& PbftDeployment::replica(ReplicaId r) { return replicas_.at(r)->replica(); }

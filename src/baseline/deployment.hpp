@@ -9,6 +9,7 @@
 #include "baseline/pbft.hpp"
 #include "common/batch.hpp"
 #include "net/network.hpp"
+#include "net/runtime_env.hpp"
 #include "orb/orb.hpp"
 
 namespace failsig::baseline {
@@ -25,6 +26,9 @@ struct PbftOptions {
     /// Per-run observability context (nullptr = off); threaded into the
     /// submit path, replica 0's protocol stamps, and the delivery sinks.
     obs::Obs* obs{nullptr};
+    /// External runtime (the TCP backend): transport/fault plane/per-node
+    /// event loops. Default (all null) = stack-owned sim world.
+    net::RuntimeEnv env{};
 };
 
 /// Hosts one PbftReplica as an ORB servant with serialized execution and
@@ -58,7 +62,8 @@ public:
     PbftDeployment& operator=(const PbftDeployment&) = delete;
 
     [[nodiscard]] sim::Simulation& sim() { return sim_; }
-    [[nodiscard]] net::SimNetwork& network() { return net_; }
+    [[nodiscard]] net::Transport& network() { return net_; }
+    [[nodiscard]] net::FaultInjector& faults() { return faults_; }
     [[nodiscard]] std::uint32_t replica_count() const {
         return static_cast<std::uint32_t>(replicas_.size());
     }
@@ -72,6 +77,9 @@ public:
     /// Fires the view-change timeout input at every replica (the liveness
     /// escape hatch when the primary is silent).
     void fire_timeouts();
+    /// Fires one replica's view-change timeout only (the TCP backend posts
+    /// these onto the replica's own executor).
+    void fire_timeouts(ReplicaId at);
 
     [[nodiscard]] PbftReplica& replica(ReplicaId r);
     /// Delivered (seq -> "origin:payload") log observed at replica r.
@@ -97,7 +105,9 @@ private:
     void trace_flush(ReplicaId at, const Bytes& unit);
 
     sim::Simulation sim_;
-    net::SimNetwork net_;
+    std::unique_ptr<net::SimNetwork> own_net_;  // null when env.transport is set
+    net::Transport& net_;
+    net::FaultInjector& faults_;
     orb::OrbDomain domain_;
     std::vector<std::unique_ptr<PbftServant>> replicas_;
     std::vector<std::unique_ptr<DeliverySink>> sinks_;

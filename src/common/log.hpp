@@ -84,6 +84,7 @@ struct LogVoidify {
 #define FAILSIG_LOG_COMP_ORB "orb"
 #define FAILSIG_LOG_COMP_GC "gc"
 #define FAILSIG_LOG_COMP_FSO "fso"
+#define FAILSIG_LOG_COMP_NET "net"
 
 #ifndef FAILSIG_LOG_MIN_ORB
 #define FAILSIG_LOG_MIN_ORB failsig::LogLevel::kTrace
@@ -93,6 +94,9 @@ struct LogVoidify {
 #endif
 #ifndef FAILSIG_LOG_MIN_FSO
 #define FAILSIG_LOG_MIN_FSO failsig::LogLevel::kTrace
+#endif
+#ifndef FAILSIG_LOG_MIN_NET
+#define FAILSIG_LOG_MIN_NET failsig::LogLevel::kTrace
 #endif
 
 /// One log statement. The component-floor comparison is between constants

@@ -10,6 +10,7 @@
 #include "deploy/fsnewtop.hpp"
 #include "deploy/newtop.hpp"
 #include "deploy/pbft.hpp"
+#include "deploy/tcp.hpp"
 
 namespace failsig::deploy {
 
@@ -22,6 +23,19 @@ const char* name_of(SystemKind system) {
     return "?";
 }
 
+const char* name_of(Backend backend) {
+    switch (backend) {
+        case Backend::kSim: return "sim";
+        case Backend::kTcp: return "tcp";
+    }
+    return "?";
+}
+
+const time::Clock& Deployment::clock() {
+    if (!default_clock_) default_clock_.emplace(sim());
+    return *default_clock_;
+}
+
 void Deployment::crash(int member) {
     // A crashed host stops talking to everyone; peers see silence and react
     // through whatever detection their stack has (suspectors, quorums).
@@ -29,12 +43,16 @@ void Deployment::crash(int member) {
     for (int other = 0; other < group_size(); ++other) {
         if (other == member) continue;
         for (const NodeId theirs : nodes_of(other)) {
-            for (const NodeId node : mine) network().block(node, theirs);
+            for (const NodeId node : mine) faults().block(node, theirs);
         }
     }
 }
 
 bool Deployment::inject_fault(const FaultInjection&) { return false; }
+
+std::optional<NodeId> Deployment::fault_home(const FaultInjection&) const {
+    return std::nullopt;
+}
 
 void Deployment::partition(const std::vector<std::vector<int>>& member_groups) {
     std::vector<std::set<NodeId>> node_groups;
@@ -45,12 +63,22 @@ void Deployment::partition(const std::vector<std::vector<int>>& member_groups) {
         }
         node_groups.push_back(std::move(nodes));
     }
-    network().partition(node_groups);
+    faults().partition(node_groups);
 }
 
-bool Deployment::fire_timeouts() { return false; }
+bool Deployment::fire_timeouts() {
+    if (!has_liveness_timeouts()) return false;
+    for (int member = 0; member < group_size(); ++member) fire_timeouts_member(member);
+    return true;
+}
 
-void Deployment::stop_perpetual() {}
+void Deployment::fire_timeouts_member(int) {}
+
+void Deployment::stop_perpetual() {
+    for (int member = 0; member < group_size(); ++member) stop_perpetual_member(member);
+}
+
+void Deployment::stop_perpetual_member(int) {}
 
 bool Deployment::supports_host_faults() const { return true; }
 
@@ -122,6 +150,10 @@ std::unique_ptr<Deployment> make_deployment(SystemKind system, const DeploymentS
         throw std::logic_error(std::string("deploy: group_size below the system's floor: ") +
                                reg.traits.min_group_reason);
     }
+    // The TCP backend wraps whatever the registered factory builds: the
+    // wrapper re-enters make_deployment with backend == kSim and an env
+    // pointing at its transport and per-node loops.
+    if (spec.backend == Backend::kTcp) return std::make_unique<TcpDeployment>(system, spec);
     return reg.factory(spec);
 }
 

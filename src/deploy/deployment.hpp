@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,10 +22,12 @@
 #include "fs/fso.hpp"
 #include "fsnewtop/deployment.hpp"
 #include "net/network.hpp"
+#include "net/runtime_env.hpp"
 #include "newtop/suspector.hpp"
 #include "newtop/types.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulation.hpp"
+#include "time/clock.hpp"
 
 namespace failsig::deploy {
 
@@ -33,6 +36,13 @@ namespace failsig::deploy {
 enum class SystemKind : std::uint8_t { kNewTop = 0, kFsNewTop = 1, kPbft = 2 };
 
 const char* name_of(SystemKind system);
+
+/// How the deployment executes: the deterministic discrete-event simulator
+/// (the default, byte-identical across runs) or real sockets on localhost
+/// (wall-clock, one executor thread per node behind a TcpTransport).
+enum class Backend : std::uint8_t { kSim = 0, kTcp = 1 };
+
+const char* name_of(Backend backend);
 
 /// System-agnostic construction knobs: the projection of a
 /// scenario::Scenario a deployment needs to build itself. Stack-specific
@@ -59,6 +69,14 @@ struct DeploymentSpec {
     /// deployment binds it to its Simulation and threads the pointer into
     /// the stacks' lifecycle hooks.
     obs::Obs* obs{nullptr};
+
+    /// Execution backend. kSim is the deterministic default; kTcp runs the
+    /// same stack over real sockets (deploy::TcpDeployment wraps the
+    /// registered factory's deployment). Not serialized into reports.
+    Backend backend{Backend::kSim};
+    /// External runtime environment forwarded into the stack (the TCP
+    /// wrapper fills this; external callers leave it default).
+    net::RuntimeEnv env{};
 };
 
 /// Application-level observers a caller attaches before the run. Deployments
@@ -90,14 +108,38 @@ public:
     virtual ~Deployment() = default;
 
     // --- accessors --------------------------------------------------------
+    /// Driver event loop: the shared Simulation on the sim backends, the
+    /// coordinator's timeline loop on the TCP backend. Drive the run through
+    /// now()/schedule()/run()/run_until() below instead of reaching in —
+    /// they are backend-agnostic.
     [[nodiscard]] virtual sim::Simulation& sim() = 0;
-    [[nodiscard]] virtual net::SimNetwork& network() = 0;
+    /// Message plane (stats, lifecycle). Fault hooks live on faults().
+    [[nodiscard]] virtual net::Transport& network() = 0;
+    /// Fault-injection plane (block/partition/delay/drop/corrupt).
+    [[nodiscard]] virtual net::FaultInjector& faults() = 0;
     [[nodiscard]] virtual int group_size() const = 0;
     /// Physical nodes that embody `member` (its host plus any dedicated pair
     /// nodes). Host-level faults (crash, partition) operate on these.
     [[nodiscard]] virtual std::vector<NodeId> nodes_of(int member) const = 0;
 
+    // --- time & execution -------------------------------------------------
+    /// The deployment's clock; safe to read from any upcall context. Base:
+    /// a SimClock over sim(). The TCP backend mounts its VirtualClock.
+    [[nodiscard]] virtual const time::Clock& clock();
+    [[nodiscard]] virtual TimePoint now() { return sim().now(); }
+    /// Schedules a driver-side action (workload submission, fault event) at
+    /// virtual time `at`. Driver thread only; call before or between runs.
+    virtual void schedule(TimePoint at, std::function<void()> fn) {
+        sim().schedule_at(at, std::move(fn));
+    }
+    /// Runs until nothing is left to do anywhere in the deployment.
+    virtual void run() { sim().run(); }
+    /// Runs until virtual time `deadline`; now() == deadline afterwards.
+    virtual void run_until(TimePoint deadline) { sim().run_until(deadline); }
+
     // --- workload ---------------------------------------------------------
+    /// Attaches observers. On the TCP backend callbacks fire on executor
+    /// threads (one per node); callers needing aggregation must lock.
     virtual void attach(Observers observers) = 0;
     /// Submits one application payload at `member` (multicast / request).
     virtual void submit(int member, Bytes payload) = 0;
@@ -109,16 +151,28 @@ public:
     /// Injects a Byzantine fault plan; returns false when the stack has no
     /// fail-signal layer to aim it at (callers note it instead of acting).
     virtual bool inject_fault(const FaultInjection& fault);
+    /// Node whose event loop owns the state `inject_fault(fault)` mutates
+    /// (nullopt = no fail-signal layer). The TCP backend posts the
+    /// injection onto that node's executor.
+    [[nodiscard]] virtual std::optional<NodeId> fault_home(const FaultInjection& fault) const;
     /// Splits the members into isolated groups; traffic across groups drops
-    /// until SimNetwork::heal_partition(). Default: partition the union of
+    /// until faults().heal_partition(). Default: partition the union of
     /// each group's `nodes_of`.
     virtual void partition(const std::vector<std::vector<int>>& member_groups);
+    /// Whether the stack has liveness timers fire_timeouts() can fire.
+    [[nodiscard]] virtual bool has_liveness_timeouts() const { return false; }
     /// Fires liveness timers (PBFT view change); returns false when the
-    /// stack has none.
+    /// stack has none. Default: one fire_timeouts_member per member.
     virtual bool fire_timeouts();
+    /// Fires one member's liveness timers (the TCP backend posts this onto
+    /// the member's own executor).
+    virtual void fire_timeouts_member(int member);
     /// Stops self-rescheduling activity (suspector ping loops) so the
-    /// simulation can settle. Default: nothing to stop.
+    /// simulation can settle. Default: one stop_perpetual_member per member.
     virtual void stop_perpetual();
+    /// Per-member half of stop_perpetual (TCP executor affinity). Default:
+    /// nothing to stop.
+    virtual void stop_perpetual_member(int member);
     /// Whether host-level faults (crash/partition) are expressible. False
     /// for FS-NewTOP's collocated placement, where a host is shared between
     /// two pairs and a host fault would sever healthy pairs.
@@ -133,6 +187,10 @@ public:
     /// unauthenticated PBFT baseline); FS-NewTOP reports its KeyService.
     [[nodiscard]] virtual std::uint64_t crypto_verify_ops() const { return 0; }
     [[nodiscard]] virtual std::uint64_t crypto_verify_cache_hits() const { return 0; }
+
+private:
+    /// Lazily built default clock (a SimClock over sim()).
+    std::optional<time::SimClock> default_clock_;
 };
 
 /// Static facts the engine needs before (or instead of) construction.

@@ -11,6 +11,7 @@ fsnewtop::FsNewTopOptions FsNewTopDeployment::make_options(const DeploymentSpec&
     opts.fs_config = spec.fs_config;
     opts.batch = spec.batch;
     opts.obs = spec.obs;
+    opts.env = spec.env;
     return opts;
 }
 
@@ -60,7 +61,7 @@ void FsNewTopDeployment::submit(int member, Bytes payload) {
 }
 
 void FsNewTopDeployment::crash(int member) {
-    inner_.network().block(inner_.leader_node_of(member), inner_.follower_node_of(member));
+    inner_.faults().block(inner_.leader_node_of(member), inner_.follower_node_of(member));
 }
 
 bool FsNewTopDeployment::inject_fault(const FaultInjection& fault) {

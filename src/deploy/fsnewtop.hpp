@@ -14,7 +14,8 @@ public:
     explicit FsNewTopDeployment(const DeploymentSpec& spec);
 
     [[nodiscard]] sim::Simulation& sim() override { return inner_.sim(); }
-    [[nodiscard]] net::SimNetwork& network() override { return inner_.network(); }
+    [[nodiscard]] net::Transport& network() override { return inner_.network(); }
+    [[nodiscard]] net::FaultInjector& faults() override { return inner_.faults(); }
     [[nodiscard]] int group_size() const override { return inner_.group_size(); }
     [[nodiscard]] std::vector<NodeId> nodes_of(int member) const override;
 
@@ -26,6 +27,10 @@ public:
     /// guessing at the other members.
     void crash(int member) override;
     bool inject_fault(const FaultInjection& fault) override;
+    [[nodiscard]] std::optional<NodeId> fault_home(const FaultInjection& fault) const override {
+        return fault.at_leader ? inner_.leader_node_of(fault.member)
+                               : inner_.follower_node_of(fault.member);
+    }
     /// Host faults act on whole hosts; under the collocated placement every
     /// host is shared between two pairs (member i's leader and member i-1's
     /// follower), so only the dedicated-node placement can express them.

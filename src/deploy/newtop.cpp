@@ -11,6 +11,7 @@ newtop::NewTopOptions NewTopDeployment::make_options(const DeploymentSpec& spec)
     opts.suspector = spec.suspector;
     opts.batch = spec.batch;
     opts.obs = spec.obs;
+    opts.env = spec.env;
     return opts;
 }
 

@@ -12,7 +12,8 @@ public:
     explicit NewTopDeployment(const DeploymentSpec& spec);
 
     [[nodiscard]] sim::Simulation& sim() override { return inner_.sim(); }
-    [[nodiscard]] net::SimNetwork& network() override { return inner_.network(); }
+    [[nodiscard]] net::Transport& network() override { return inner_.network(); }
+    [[nodiscard]] net::FaultInjector& faults() override { return inner_.faults(); }
     [[nodiscard]] int group_size() const override { return inner_.group_size(); }
     [[nodiscard]] std::vector<NodeId> nodes_of(int member) const override {
         return {inner_.node_of(member)};
@@ -20,7 +21,7 @@ public:
 
     void attach(Observers observers) override;
     void submit(int member, Bytes payload) override;
-    void stop_perpetual() override { inner_.stop_suspectors(); }
+    void stop_perpetual_member(int member) override { inner_.stop_suspector(member); }
     [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
 
 private:

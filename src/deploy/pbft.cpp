@@ -9,6 +9,7 @@ baseline::PbftOptions PbftDeployment::make_options(const DeploymentSpec& spec) {
     opts.seed = spec.seed;
     opts.batch = spec.batch;
     opts.obs = spec.obs;
+    opts.env = spec.env;
     return opts;
 }
 
@@ -30,9 +31,8 @@ void PbftDeployment::submit(int member, Bytes payload) {
     inner_.submit(static_cast<baseline::ReplicaId>(member), std::move(payload));
 }
 
-bool PbftDeployment::fire_timeouts() {
-    inner_.fire_timeouts();
-    return true;
+void PbftDeployment::fire_timeouts_member(int member) {
+    inner_.fire_timeouts(static_cast<baseline::ReplicaId>(member));
 }
 
 }  // namespace failsig::deploy

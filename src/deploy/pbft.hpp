@@ -14,7 +14,8 @@ public:
     explicit PbftDeployment(const DeploymentSpec& spec);
 
     [[nodiscard]] sim::Simulation& sim() override { return inner_.sim(); }
-    [[nodiscard]] net::SimNetwork& network() override { return inner_.network(); }
+    [[nodiscard]] net::Transport& network() override { return inner_.network(); }
+    [[nodiscard]] net::FaultInjector& faults() override { return inner_.faults(); }
     [[nodiscard]] int group_size() const override {
         return static_cast<int>(inner_.replica_count());
     }
@@ -24,7 +25,8 @@ public:
 
     void attach(Observers observers) override;
     void submit(int member, Bytes payload) override;
-    bool fire_timeouts() override;
+    [[nodiscard]] bool has_liveness_timeouts() const override { return true; }
+    void fire_timeouts_member(int member) override;
     [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
 
 private:

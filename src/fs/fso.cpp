@@ -15,13 +15,14 @@ Fso::Fso(FsRuntime& rt, std::string name, FsoRole role, orb::Orb& orb, Endpoint 
       name_(std::move(name)),
       role_(role),
       orb_(orb),
+      sim_(orb.simulation()),
       pair_ep_(pair_endpoint),
       service_(std::move(service)),
       cfg_(config),
       costs_(rt.domain.costs()),
       principal_(name_ + (role == FsoRole::kLeader ? "/L" : "/F")),
-      order_pool_(std::make_unique<sim::SimThreadPool>(rt.sim, 1)),
-      compare_pool_(std::make_unique<sim::SimThreadPool>(rt.sim, 1)),
+      order_pool_(std::make_unique<sim::SimThreadPool>(sim_, 1)),
+      compare_pool_(std::make_unique<sim::SimThreadPool>(sim_, 1)),
       fault_rng_(0xfa017 + std::hash<std::string>{}(principal_)) {
     rt_.keys.register_principal(principal_);
     rt_.net.bind(pair_ep_, [this](const net::Message& msg) {
@@ -79,7 +80,7 @@ void Fso::set_fault_plan(const FaultPlan& plan) {
 }
 
 bool Fso::fault_active() const {
-    return fault_configured_ && rt_.sim.now() >= fault_.active_from;
+    return fault_configured_ && sim_.now() >= fault_.active_from;
 }
 
 Duration Fso::t2_effective() const {
@@ -209,7 +210,7 @@ void Fso::order_input(const FsInput& input) {
 }
 
 void Fso::enqueue_ordered(std::uint64_t seq, const FsInput& input) {
-    dmq_[seq] = PendingInput{input, rt_.sim.now()};
+    dmq_[seq] = PendingInput{input, sim_.now()};
     maybe_execute();
 }
 
@@ -229,12 +230,12 @@ void Fso::follower_receive_new(const FsInput& input) {
     if (cfg_.t1 == 0) {
         dispatch_to_leader();
     } else {
-        rt_.sim.schedule_after(cfg_.t1, dispatch_to_leader);
+        sim_.schedule_after(cfg_.t1, dispatch_to_leader);
     }
 
     IrmpEntry entry;
     entry.input = input;
-    entry.timer = rt_.sim.schedule_after(
+    entry.timer = sim_.schedule_after(
         t2_effective(), [this, uid = input.uid] { on_irmp_timeout(uid); });
     irmp_.emplace(input.uid, std::move(entry));
 }
@@ -257,7 +258,7 @@ void Fso::handle_order(const crypto::SignedEnvelope& env) {
         ++inputs_ordered_;
         const auto irmp_it = irmp_.find(record.input.uid);
         if (irmp_it != irmp_.end()) {
-            rt_.sim.cancel(irmp_it->second.timer);
+            sim_.cancel(irmp_it->second.timer);
             irmp_.erase(irmp_it);
         }
         enqueue_ordered(record.seq, record.input);
@@ -306,7 +307,7 @@ void Fso::on_executed(std::uint64_t seq, const PendingInput& pending) {
 
     std::vector<Outbound> outputs =
         service_->process(pending.input.operation, pending.input.body);
-    const Duration pi = rt_.sim.now() - pending.submitted_at;  // π of §2.2
+    const Duration pi = sim_.now() - pending.submitted_at;  // π of §2.2
 
     for (std::uint32_t idx = 0; idx < outputs.size(); ++idx) {
         Outbound& out = outputs[idx];
@@ -355,7 +356,7 @@ void Fso::emit_output(FsOutput record, Duration pi) {
     // counterpart" — so τ is the *observed* elapsed time including any
     // Compare-thread backlog, and the wait timer is armed only once the
     // single-signed copy has actually left.
-    const TimePoint produced_at = rt_.sim.now();
+    const TimePoint produced_at = sim_.now();
     if (rt_.obs != nullptr) rt_.obs->crypto_sign(costs_.sign(encoded.size()));
     compare_pool_->submit(
         costs_.sign(encoded.size()), [this, id, pi, produced_at, encoded = std::move(encoded)] {
@@ -363,7 +364,7 @@ void Fso::emit_output(FsOutput record, Duration pi) {
             crypto::SignedEnvelope env(encoded);
             env.add_signature(rt_.keys.signer(principal_));
             pair_send(env);
-            const Duration tau = rt_.sim.now() - produced_at;
+            const Duration tau = sim_.now() - produced_at;
             arm_icmp_timer(id, pi, tau);
         });
 
@@ -378,7 +379,7 @@ void Fso::arm_icmp_timer(const OutputId& id, Duration pi, Duration tau) {
     const Duration timeout = base + static_cast<Duration>(cfg_.kappa * static_cast<double>(pi)) +
                              static_cast<Duration>(cfg_.sigma * static_cast<double>(tau)) +
                              cfg_.compare_slack;
-    it->second.timer = rt_.sim.schedule_after(timeout, [this, id] { on_icmp_timeout(id); });
+    it->second.timer = sim_.schedule_after(timeout, [this, id] { on_icmp_timeout(id); });
 }
 
 void Fso::handle_single(const crypto::SignedEnvelope& env) {
@@ -408,7 +409,7 @@ void Fso::try_match(const OutputId& id) {
     }
 
     icmp_it->second.matched = true;
-    rt_.sim.cancel(icmp_it->second.timer);
+    sim_.cancel(icmp_it->second.timer);
     crypto::SignedEnvelope env = ecmp_it->second;
     ecmp_.erase(ecmp_it);
 
@@ -458,13 +459,13 @@ void Fso::start_signalling(const std::string& reason) {
 
     // Every entity expecting a response gets the fail-signal.
     for (auto& [id, entry] : icmp_) {
-        rt_.sim.cancel(entry.timer);
+        sim_.cancel(entry.timer);
         send_fail_signal_for_output(entry.out);
     }
     icmp_.clear();
     ecmp_.clear();
     for (auto& [uid, entry] : irmp_) {
-        rt_.sim.cancel(entry.timer);
+        sim_.cancel(entry.timer);
         reply_fail_signal_to_origin(entry.input);
     }
     irmp_.clear();
@@ -504,8 +505,8 @@ void Fso::send_fail_signal_to_ref(const orb::ObjectRef& ref) {
 void Fso::schedule_spontaneous_fail_signal() {
     const Duration interval =
         fault_.spontaneous_interval > 0 ? fault_.spontaneous_interval : 50 * kMillisecond;
-    const TimePoint first = std::max(fault_.active_from, rt_.sim.now() + interval);
-    rt_.sim.schedule_at(first, [this] {
+    const TimePoint first = std::max(fault_.active_from, sim_.now() + interval);
+    sim_.schedule_at(first, [this] {
         if (fault_configured_ && fault_.spontaneous_fail_signals && fault_active()) {
             // fs2: emit this process's fail-signal at an arbitrary instant to
             // arbitrary destinations, while the process may keep working.

@@ -35,7 +35,7 @@
 #include "fs/fault.hpp"
 #include "fs/service.hpp"
 #include "fs/wire.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/obs.hpp"
 #include "orb/orb.hpp"
 
@@ -74,10 +74,12 @@ struct FsConfig {
     bool order_link_mac = false;
 };
 
-/// Shared infrastructure handed to every FS component.
+/// Shared infrastructure handed to every FS component. Time is *not* here:
+/// each FSO schedules on its own node's event loop (resolved through its
+/// ORB), which is the shared Simulation on the simulator backends and the
+/// executor thread's private loop on the TCP backend.
 struct FsRuntime {
-    sim::Simulation& sim;
-    net::SimNetwork& net;
+    net::Transport& net;
     orb::OrbDomain& domain;
     crypto::KeyService& keys;
     FsDirectory& directory;
@@ -204,6 +206,8 @@ private:
     std::string name_;
     FsoRole role_;
     orb::Orb& orb_;
+    /// This node's event loop — every FSO timer and clock read goes here.
+    sim::Simulation& sim_;
     Endpoint pair_ep_;
     std::unique_ptr<DeterministicService> service_;
     FsConfig cfg_;

@@ -3,10 +3,14 @@
 namespace failsig::fsnewtop {
 
 FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
-    : net_(sim_, Rng(options.seed), options.net_params),
-      domain_(sim_, net_, options.costs, options.threads_per_node),
+    : own_net_(options.env.external() ? nullptr
+                                      : std::make_unique<net::SimNetwork>(sim_, Rng(options.seed),
+                                                                          options.net_params)),
+      net_(net::transport_or(options.env, own_net_.get())),
+      faults_(net::faults_or(options.env, own_net_.get())),
+      domain_(net::sim_of_or(options.env, sim_), net_, options.costs, options.threads_per_node),
       keys_(options.crypto_backend, 512, options.seed ^ 0x6b657973u),
-      host_(fs::FsRuntime{sim_, net_, domain_, keys_, directory_, options.obs}),
+      host_(fs::FsRuntime{net_, domain_, keys_, directory_, options.obs}),
       placement_(options.placement) {
     const int n = options.group_size;
     ensure(n >= 1, "FsNewTopDeployment: group_size must be >= 1");
@@ -41,7 +45,7 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
         member.invocation = std::make_unique<FsInvocation>(
             host_.runtime(), app_orb, "inv:" + std::to_string(i), gc_name(i));
         member.invocation->set_obs(options.obs, i);
-        member.invocation->configure_batching(sim_, options.batch);
+        member.invocation->configure_batching(app_orb.simulation(), options.batch);
     }
 
     // Pass 2: the FS-wrapped GC pairs.

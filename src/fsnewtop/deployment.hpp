@@ -16,6 +16,8 @@
 
 #include "fs/process.hpp"
 #include "fsnewtop/fs_invocation.hpp"
+#include "net/network.hpp"
+#include "net/runtime_env.hpp"
 #include "newtop/gc_service.hpp"
 
 namespace failsig::fsnewtop {
@@ -41,6 +43,9 @@ struct FsNewTopOptions {
     /// pair's LEADER GC replica only (replicated execution must not
     /// double-count lifecycle stamps).
     obs::Obs* obs{nullptr};
+    /// External runtime (the TCP backend): transport/fault plane/per-node
+    /// event loops. Default (all null) = stack-owned sim world.
+    net::RuntimeEnv env{};
 };
 
 class FsNewTopDeployment {
@@ -51,7 +56,8 @@ public:
     FsNewTopDeployment& operator=(const FsNewTopDeployment&) = delete;
 
     [[nodiscard]] sim::Simulation& sim() { return sim_; }
-    [[nodiscard]] net::SimNetwork& network() { return net_; }
+    [[nodiscard]] net::Transport& network() { return net_; }
+    [[nodiscard]] net::FaultInjector& faults() { return faults_; }
     [[nodiscard]] crypto::KeyService& keys() { return keys_; }
     [[nodiscard]] const crypto::KeyService& keys() const { return keys_; }
     [[nodiscard]] int group_size() const { return static_cast<int>(members_.size()); }
@@ -89,7 +95,9 @@ private:
     };
 
     sim::Simulation sim_;
-    net::SimNetwork net_;
+    std::unique_ptr<net::SimNetwork> own_net_;  // null when env.transport is set
+    net::Transport& net_;
+    net::FaultInjector& faults_;
     orb::OrbDomain domain_;
     crypto::KeyService keys_;
     fs::FsDirectory directory_;

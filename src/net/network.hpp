@@ -1,4 +1,4 @@
-// Network abstraction: message delivery between endpoints.
+// Simulated network: deterministic message delivery between endpoints.
 //
 // The paper's deployment (Figure 4) uses two kinds of links:
 //  * a reliable *synchronous* LAN between the two nodes of each FS pair,
@@ -6,9 +6,13 @@
 //  * a reliable *asynchronous* network between FS processes, with no known
 //    bound on message delays.
 // `SimNetwork` models both, plus the fault injection the experiments need.
+//
+// The transport API itself lives in net/transport.hpp: `net::Transport`
+// (delivery) and `net::FaultInjector` (fault hooks). SimNetwork implements
+// both over one discrete-event Simulation, behavior-identical to the
+// pre-split monolithic `net::Network` class.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -18,33 +22,16 @@
 #include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/transport.hpp"
 #include "sim/simulation.hpp"
 
 namespace failsig::net {
 
-/// A message in flight. The payload is a ref-counted immutable view: all n
-/// receivers of a multicast share one body buffer (plus a tiny per-target
-/// header), so putting a message on the wire never deep-copies it.
-struct Message {
-    Endpoint src;
-    Endpoint dst;
-    Payload payload;
-};
-
-using MessageHandler = std::function<void(const Message&)>;
-
-/// Abstract message transport.
-class Network {
-public:
-    virtual ~Network() = default;
-
-    /// Registers the handler invoked when a message reaches `endpoint`.
-    virtual void bind(Endpoint endpoint, MessageHandler handler) = 0;
-    virtual void unbind(Endpoint endpoint) = 0;
-
-    /// Sends `payload` from `src` to `dst` (fire-and-forget datagram).
-    virtual void send(Endpoint src, Endpoint dst, Payload payload) = 0;
-};
+/// Deprecated alias for one release: out-of-tree scenarios that held a
+/// `net::Network&` still compile; they were only ever using the delivery
+/// surface, which is exactly `net::Transport` now.
+using Network [[deprecated("use net::Transport (and net::FaultInjector for fault hooks)")]] =
+    Transport;
 
 /// Delay parameters for the asynchronous network.
 struct AsyncLinkParams {
@@ -56,15 +43,12 @@ struct AsyncLinkParams {
     double per_byte_us = 0.08;
 };
 
-/// Mutates or drops messages in flight; returns false to drop.
-using Corruptor = std::function<bool(Message&)>;
-
 /// Deterministic simulated network over a Simulation event queue.
 ///
 /// Channels are reliable and FIFO per (src-node, dst-node) pair unless fault
 /// injection says otherwise. LAN pairs registered with `set_lan_pair` get
 /// delay <= δ; all other traffic uses the asynchronous delay model.
-class SimNetwork final : public Network {
+class SimNetwork final : public Transport, public FaultInjector {
 public:
     SimNetwork(sim::Simulation& sim, Rng rng, AsyncLinkParams params = {});
 
@@ -73,42 +57,38 @@ public:
     void send(Endpoint src, Endpoint dst, Payload payload) override;
 
     /// Declares nodes a and b connected by a synchronous link with bound δ.
-    void set_lan_pair(NodeId a, NodeId b, Duration delta);
+    void set_lan_pair(NodeId a, NodeId b, Duration delta) override;
 
-    // --- fault injection -----------------------------------------------
-    /// Drops every message between the two nodes (both directions).
-    void block(NodeId a, NodeId b);
-    void unblock(NodeId a, NodeId b);
-    /// Splits nodes into groups; traffic across groups is dropped until
-    /// heal_partition(). LAN pairs are not affected (they are point-to-point
-    /// cables in the deployment).
-    void partition(const std::vector<std::set<NodeId>>& groups);
-    void heal_partition();
-    /// Adds `extra` delay to all async traffic until simulated time `until`
-    /// (used to provoke false suspicions in timeout-based suspectors).
-    void delay_surge(Duration extra, TimePoint until);
-    /// Installs a payload corruptor (return false to drop the message).
-    void set_corruptor(Corruptor corruptor);
-    /// Random drop probability on async links (LAN pairs stay reliable).
-    void set_drop_probability(double p);
+    // --- fault injection (net::FaultInjector) ---------------------------
+    void block(NodeId a, NodeId b) override;
+    void unblock(NodeId a, NodeId b) override;
+    void partition(const std::vector<std::set<NodeId>>& groups) override;
+    void heal_partition() override;
+    void delay_surge(Duration extra, TimePoint until) override;
+    void set_corruptor(Corruptor corruptor) override;
+    void set_drop_probability(double p) override;
 
     // --- statistics ------------------------------------------------------
-    [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-    [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
-    [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
-    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+    [[nodiscard]] std::uint64_t messages_sent() const override { return messages_sent_; }
+    [[nodiscard]] std::uint64_t messages_delivered() const override {
+        return messages_delivered_;
+    }
+    [[nodiscard]] std::uint64_t messages_dropped() const override { return messages_dropped_; }
+    [[nodiscard]] std::uint64_t bytes_sent() const override { return bytes_sent_; }
     /// Copy counters of the zero-copy plane. `bytes_sent()` counts *logical*
     /// wire bytes; `payload_bytes_copied()` counts the bytes that were
     /// actually materialized to carry them — per-target header bytes plus
     /// each distinct body buffer once. A multicast of one B-byte body to n
     /// receivers therefore adds n*B to bytes_sent but only B + n*header to
     /// payload_bytes_copied (O(1) body encodes, the acceptance criterion).
-    [[nodiscard]] std::uint64_t payload_bytes_copied() const { return payload_bytes_copied_; }
+    [[nodiscard]] std::uint64_t payload_bytes_copied() const override {
+        return payload_bytes_copied_;
+    }
     /// Distinct body buffers that entered the plane (== payload encodes).
-    [[nodiscard]] std::uint64_t payload_bodies_encoded() const {
+    [[nodiscard]] std::uint64_t payload_bodies_encoded() const override {
         return payload_bodies_encoded_;
     }
-    void reset_stats();
+    void reset_stats() override;
 
 private:
     struct NodePair {

@@ -1,0 +1,55 @@
+// External execution environment for a stack deployment.
+//
+// Default-constructed (all fields null) a stack owns its whole world: one
+// Simulation every node shares and one SimNetwork built from its options —
+// the historical, byte-identical simulator path. The TCP backend fills all
+// three fields instead: frames go through its TcpTransport, faults are
+// injected at its reactor, and every node schedules on its own executor
+// thread's private event loop.
+#pragma once
+
+#include <functional>
+
+#include "common/result.hpp"
+#include "net/transport.hpp"
+
+namespace failsig::sim {
+class Simulation;
+}  // namespace failsig::sim
+
+namespace failsig::net {
+
+struct RuntimeEnv {
+    /// Message plane (null = the stack builds its own SimNetwork).
+    Transport* transport{nullptr};
+    /// Fault-injection plane; must be set whenever `transport` is.
+    FaultInjector* faults{nullptr};
+    /// Event loop per node (null = one shared stack-owned Simulation). Must
+    /// return the same Simulation for the same node, for the stack's
+    /// lifetime.
+    std::function<sim::Simulation&(NodeId)> sim_of{};
+
+    [[nodiscard]] bool external() const { return transport != nullptr; }
+};
+
+/// Binding helpers for stack deployment constructors: pick the external
+/// plane when provided, else the stack-owned fallback.
+[[nodiscard]] inline Transport& transport_or(const RuntimeEnv& env, Transport* own) {
+    Transport* chosen = env.transport != nullptr ? env.transport : own;
+    ensure(chosen != nullptr, "RuntimeEnv: no transport available");
+    return *chosen;
+}
+
+[[nodiscard]] inline FaultInjector& faults_or(const RuntimeEnv& env, FaultInjector* own) {
+    FaultInjector* chosen = env.faults != nullptr ? env.faults : own;
+    ensure(chosen != nullptr, "RuntimeEnv: an external transport needs an external fault plane");
+    return *chosen;
+}
+
+[[nodiscard]] inline std::function<sim::Simulation&(NodeId)> sim_of_or(const RuntimeEnv& env,
+                                                                       sim::Simulation& own) {
+    if (env.sim_of) return env.sim_of;
+    return [&own](NodeId) -> sim::Simulation& { return own; };
+}
+
+}  // namespace failsig::net

@@ -1,0 +1,118 @@
+// The transport seam: what a protocol stack needs from a network, split
+// into two narrow interfaces.
+//
+//  * `Transport`     — asynchronous datagram delivery between opaque
+//                      `Endpoint`s with receive upcalls, an explicit
+//                      connection lifecycle (connect / graceful close), and
+//                      delivery statistics. This is everything the ORB, the
+//                      FS pairs and the protocol out-queues call.
+//  * `FaultInjector` — the drop / partition / delay hooks the scenario
+//                      engine and the fault campaigns call. It was always
+//                      implicitly part of SimNetwork's contract; naming it
+//                      separately lets a real backend implement faults as
+//                      frame-dropping at its reactor without pretending to
+//                      be a simulator.
+//
+// `SimNetwork` (net/network.hpp) implements both over a discrete-event
+// Simulation, behavior-identical to the pre-split `net::Network`.
+// `TcpTransport` (net/tcp_transport.hpp) implements both over real sockets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/payload.hpp"
+#include "common/types.hpp"
+
+namespace failsig::net {
+
+/// A message in flight. The payload is a ref-counted immutable view: all n
+/// receivers of a multicast share one body buffer (plus a tiny per-target
+/// header), so putting a message on the wire never deep-copies it.
+struct Message {
+    Endpoint src;
+    Endpoint dst;
+    Payload payload;
+};
+
+using MessageHandler = std::function<void(const Message&)>;
+
+/// Abstract asynchronous message transport.
+///
+/// Threading contract: `bind`/`unbind`/`connect` are topology-building calls
+/// made while the deployment is single-threaded (construction / teardown).
+/// `send` may be called from any execution context the backend hands upcalls
+/// to; the handler for an endpoint is invoked on whatever context the
+/// backend assigns to that endpoint's node (the simulation loop for
+/// SimNetwork, the node's executor thread for TcpTransport).
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    /// Registers the handler invoked when a message reaches `endpoint`.
+    virtual void bind(Endpoint endpoint, MessageHandler handler) = 0;
+    virtual void unbind(Endpoint endpoint) = 0;
+
+    /// Sends `payload` from `src` to `dst` (fire-and-forget datagram).
+    virtual void send(Endpoint src, Endpoint dst, Payload payload) = 0;
+
+    // --- connection lifecycle -------------------------------------------
+    /// Eagerly establishes the src→dst link (with backoff-retry on a real
+    /// backend). Optional: `send` connects lazily; this exists so a
+    /// deployment can front-load connection cost out of the measured
+    /// window. Default: no-op (the simulator has no connections).
+    virtual void connect(NodeId /*src*/, NodeId /*dst*/) {}
+    /// Gracefully closes every connection and stops delivering. Further
+    /// sends are dropped (counted). Default: no-op.
+    virtual void close() {}
+
+    /// Topology hint: nodes a and b share a synchronous link with bound δ.
+    /// The simulator models the bound; a real backend may use it only to
+    /// exempt the pair from partitions (the cable is point-to-point).
+    virtual void set_lan_pair(NodeId /*a*/, NodeId /*b*/, Duration /*delta*/) {}
+
+    // --- statistics ------------------------------------------------------
+    // Counters of the logical message plane, shared by the report pipeline
+    // across backends. A backend that cannot measure one returns 0.
+    [[nodiscard]] virtual std::uint64_t messages_sent() const { return 0; }
+    [[nodiscard]] virtual std::uint64_t messages_delivered() const { return 0; }
+    [[nodiscard]] virtual std::uint64_t messages_dropped() const { return 0; }
+    [[nodiscard]] virtual std::uint64_t bytes_sent() const { return 0; }
+    /// Bytes actually materialized to carry the logical wire bytes (see
+    /// SimNetwork for the zero-copy accounting rules).
+    [[nodiscard]] virtual std::uint64_t payload_bytes_copied() const { return 0; }
+    /// Distinct body buffers that entered the plane (== payload encodes).
+    [[nodiscard]] virtual std::uint64_t payload_bodies_encoded() const { return 0; }
+    virtual void reset_stats() {}
+};
+
+/// Mutates or drops messages in flight; returns false to drop.
+using Corruptor = std::function<bool(Message&)>;
+
+/// Fault-injection hooks over a transport. All methods take effect on
+/// messages sent (or, for a real backend, received at the reactor) after
+/// the call; they never retract messages already in flight.
+class FaultInjector {
+public:
+    virtual ~FaultInjector() = default;
+
+    /// Drops every message between the two nodes (both directions).
+    virtual void block(NodeId a, NodeId b) = 0;
+    virtual void unblock(NodeId a, NodeId b) = 0;
+    /// Splits nodes into groups; traffic across groups is dropped until
+    /// heal_partition(). LAN pairs are not affected (they are point-to-point
+    /// cables in the deployment).
+    virtual void partition(const std::vector<std::set<NodeId>>& groups) = 0;
+    virtual void heal_partition() = 0;
+    /// Adds `extra` delay to all async traffic until time `until` (used to
+    /// provoke false suspicions in timeout-based suspectors).
+    virtual void delay_surge(Duration extra, TimePoint until) = 0;
+    /// Installs a payload corruptor (return false to drop the message).
+    virtual void set_corruptor(Corruptor corruptor) = 0;
+    /// Random drop probability on async links (LAN pairs stay reliable).
+    virtual void set_drop_probability(double p) = 0;
+};
+
+}  // namespace failsig::net

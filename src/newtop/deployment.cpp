@@ -3,8 +3,13 @@
 namespace failsig::newtop {
 
 NewTopDeployment::NewTopDeployment(const NewTopOptions& options)
-    : net_(sim_, Rng(options.seed), options.net_params),
-      domain_(sim_, net_, options.costs, options.threads_per_node) {
+    : own_net_(options.env.external() ? nullptr
+                                      : std::make_unique<net::SimNetwork>(sim_, Rng(options.seed),
+                                                                          options.net_params)),
+      net_(net::transport_or(options.env, own_net_.get())),
+      faults_(net::faults_or(options.env, own_net_.get())),
+      domain_(net::sim_of_or(options.env, sim_), net_, options.costs,
+              options.threads_per_node) {
     const int n = options.group_size;
     ensure(n >= 1, "NewTopDeployment: group_size must be >= 1");
 
@@ -42,9 +47,10 @@ NewTopDeployment::NewTopDeployment(const NewTopOptions& options)
         member.gc = std::make_unique<GcServant>(orb, "gc", std::make_unique<GcService>(cfg));
         member.invocation = std::make_unique<PlainInvocation>(orb, "inv", *member.gc);
         member.invocation->set_obs(options.obs, i);
-        member.invocation->configure_batching(sim_, options.batch);
+        member.invocation->configure_batching(orb.simulation(), options.batch);
         member.suspector = std::make_unique<PingSuspector>(
-            sim_, orb, "susp", static_cast<MemberId>(i), *member.gc, options.suspector);
+            orb.simulation(), orb, "susp", static_cast<MemberId>(i), *member.gc,
+            options.suspector);
     }
 
     // Pass 3: connect suspectors.
@@ -76,6 +82,10 @@ PingSuspector& NewTopDeployment::suspector(int member) {
 
 void NewTopDeployment::stop_suspectors() {
     for (auto& m : members_) m.suspector->stop();
+}
+
+void NewTopDeployment::stop_suspector(int member) {
+    members_.at(static_cast<std::size_t>(member)).suspector->stop();
 }
 
 BatchStats NewTopDeployment::batch_stats() const {

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "net/network.hpp"
+#include "net/runtime_env.hpp"
 #include "newtop/invocation.hpp"
 #include "newtop/suspector.hpp"
 
@@ -34,6 +35,9 @@ struct NewTopOptions {
     /// Per-run observability context (nullptr = off); threaded into every
     /// member's Invocation layer and GC service.
     obs::Obs* obs{nullptr};
+    /// External runtime (the TCP backend): transport/fault plane/per-node
+    /// event loops. Default (all null) = stack-owned sim world.
+    net::RuntimeEnv env{};
 };
 
 class NewTopDeployment {
@@ -44,7 +48,8 @@ public:
     NewTopDeployment& operator=(const NewTopDeployment&) = delete;
 
     [[nodiscard]] sim::Simulation& sim() { return sim_; }
-    [[nodiscard]] net::SimNetwork& network() { return net_; }
+    [[nodiscard]] net::Transport& network() { return net_; }
+    [[nodiscard]] net::FaultInjector& faults() { return faults_; }
     [[nodiscard]] int group_size() const { return static_cast<int>(members_.size()); }
 
     [[nodiscard]] PlainInvocation& invocation(int member);
@@ -54,6 +59,9 @@ public:
 
     /// Stops all suspectors (lets Simulation::run() terminate).
     void stop_suspectors();
+    /// Stops one member's suspector (the TCP backend posts this onto the
+    /// member's own executor).
+    void stop_suspector(int member);
 
     /// Aggregated batching counters over every member's Invocation layer.
     [[nodiscard]] BatchStats batch_stats() const;
@@ -66,7 +74,9 @@ private:
     };
 
     sim::Simulation sim_;
-    net::SimNetwork net_;
+    std::unique_ptr<net::SimNetwork> own_net_;  // null when env.transport is set
+    net::Transport& net_;
+    net::FaultInjector& faults_;
     orb::OrbDomain domain_;
     std::vector<Member> members_;
 };

@@ -18,16 +18,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bytes.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/span.hpp"
-
-namespace failsig::sim {
-class Simulation;
-}
+#include "time/clock.hpp"
 
 namespace failsig::obs {
 
@@ -44,10 +42,23 @@ class Obs {
 public:
     explicit Obs(const ObsConfig& config = {});
 
-    /// Binds the time source. Deployments own their Simulation, so the
-    /// deploy adapters bind during construction — stamps only read now() at
-    /// event time, never before.
-    void bind(const sim::Simulation* sim) { sim_ = sim; }
+    /// Binds the time source. Deployments own their clock, so the deploy
+    /// adapters bind during construction — stamps only read now() at event
+    /// time, never before. The clock must outlive this context.
+    void bind(const time::Clock* clock) {
+        owned_sim_clock_.reset();
+        clock_ = clock;
+    }
+    /// Convenience overload for the sim backends: wraps the Simulation in an
+    /// owned SimClock.
+    void bind(const sim::Simulation* sim) {
+        if (sim == nullptr) {
+            bind(static_cast<const time::Clock*>(nullptr));
+            return;
+        }
+        owned_sim_clock_.emplace(*sim);
+        clock_ = &*owned_sim_clock_;
+    }
     [[nodiscard]] TimePoint now() const;
 
     [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
@@ -88,7 +99,8 @@ public:
     [[nodiscard]] std::string metrics_json(const std::string& scenario) const;
 
 private:
-    const sim::Simulation* sim_{nullptr};
+    const time::Clock* clock_{nullptr};
+    std::optional<time::SimClock> owned_sim_clock_;
     MetricsRegistry metrics_;
     SpanTracker spans_;
     FlightRecorder flight_;

@@ -4,7 +4,7 @@
 
 namespace failsig::orb {
 
-Orb::Orb(sim::Simulation& sim, net::SimNetwork& net, sim::SimThreadPool& pool, Endpoint endpoint,
+Orb::Orb(sim::Simulation& sim, net::Transport& net, sim::SimThreadPool& pool, Endpoint endpoint,
          const sim::CostModel& costs)
     : sim_(sim),
       net_(net),
@@ -124,14 +124,26 @@ void Orb::on_network_message(const net::Message& msg) {
     });
 }
 
-OrbDomain::OrbDomain(sim::Simulation& sim, net::SimNetwork& net, sim::CostModel costs,
+OrbDomain::OrbDomain(sim::Simulation& sim, net::Transport& net, sim::CostModel costs,
                      int threads_per_node)
-    : sim_(sim), net_(net), costs_(costs), threads_per_node_(threads_per_node) {}
+    : sim_of_([&sim](NodeId) -> sim::Simulation& { return sim; }),
+      net_(net),
+      costs_(costs),
+      threads_per_node_(threads_per_node) {}
+
+OrbDomain::OrbDomain(SimProvider sim_of, net::Transport& net, sim::CostModel costs,
+                     int threads_per_node)
+    : sim_of_(std::move(sim_of)),
+      net_(net),
+      costs_(costs),
+      threads_per_node_(threads_per_node) {}
 
 sim::SimThreadPool& OrbDomain::pool(NodeId node) {
     auto it = pools_.find(node);
     if (it == pools_.end()) {
-        it = pools_.emplace(node, std::make_unique<sim::SimThreadPool>(sim_, threads_per_node_))
+        it = pools_
+                 .emplace(node, std::make_unique<sim::SimThreadPool>(sim_of_(node),
+                                                                     threads_per_node_))
                  .first;
     }
     return *it->second;
@@ -139,7 +151,8 @@ sim::SimThreadPool& OrbDomain::pool(NodeId node) {
 
 Orb& OrbDomain::create_orb(NodeId node) {
     const Endpoint endpoint{node, PortId{next_port_++}};
-    orbs_.push_back(std::make_unique<Orb>(sim_, net_, pool(node), endpoint, costs_));
+    orbs_.push_back(
+        std::make_unique<Orb>(sim_of_(node), net_, pool(node), endpoint, costs_));
     return *orbs_.back();
 }
 

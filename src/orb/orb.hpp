@@ -19,7 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "orb/request.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/thread_pool.hpp"
@@ -58,7 +58,7 @@ public:
 /// servants keyed by object key.
 class Orb {
 public:
-    Orb(sim::Simulation& sim, net::SimNetwork& net, sim::SimThreadPool& pool, Endpoint endpoint,
+    Orb(sim::Simulation& sim, net::Transport& net, sim::SimThreadPool& pool, Endpoint endpoint,
         const sim::CostModel& costs);
     ~Orb();
 
@@ -100,7 +100,7 @@ private:
     void on_network_message(const net::Message& msg);
 
     sim::Simulation& sim_;
-    net::SimNetwork& net_;
+    net::Transport& net_;
     sim::SimThreadPool& pool_;
     Endpoint endpoint_;
     sim::CostModel costs_;
@@ -116,22 +116,38 @@ private:
 /// Factory and registry for ORBs: owns one thread pool per node so that
 /// collocated ORBs (e.g. FSO_i and FSO'_j on one host in the paper's
 /// Figure 5 set-up) contend for the same simulated CPU.
+///
+/// The domain resolves which event loop a node runs on through a
+/// `SimProvider`: the classic deployments map every node onto one shared
+/// Simulation (byte-identical to the historical single-loop behavior),
+/// while the TCP backend hands each node its executor thread's private
+/// loop. ORBs, pools and everything scheduled through them inherit the
+/// node's loop automatically.
 class OrbDomain {
 public:
-    OrbDomain(sim::Simulation& sim, net::SimNetwork& net, sim::CostModel costs,
+    /// Event loop lookup for a node. Must stay valid for the domain's
+    /// lifetime and return the same Simulation for the same node.
+    using SimProvider = std::function<sim::Simulation&(NodeId)>;
+
+    /// Single-loop domain: every node shares `sim` (the simulator backends).
+    OrbDomain(sim::Simulation& sim, net::Transport& net, sim::CostModel costs,
+              int threads_per_node = 10);
+    /// Multi-loop domain: `sim_of` maps each node to its own event loop
+    /// (the TCP backend's per-node executors).
+    OrbDomain(SimProvider sim_of, net::Transport& net, sim::CostModel costs,
               int threads_per_node = 10);
 
     /// Creates an ORB on `node` with a fresh port.
     Orb& create_orb(NodeId node);
 
     [[nodiscard]] sim::SimThreadPool& pool(NodeId node);
-    [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-    [[nodiscard]] net::SimNetwork& network() { return net_; }
+    [[nodiscard]] sim::Simulation& simulation(NodeId node) { return sim_of_(node); }
+    [[nodiscard]] net::Transport& network() { return net_; }
     [[nodiscard]] const sim::CostModel& costs() const { return costs_; }
 
 private:
-    sim::Simulation& sim_;
-    net::SimNetwork& net_;
+    SimProvider sim_of_;
+    net::Transport& net_;
     sim::CostModel costs_;
     int threads_per_node_;
     std::uint32_t next_port_{1};

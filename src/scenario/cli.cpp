@@ -23,6 +23,10 @@ void print_usage(const char* program, const std::string& extra) {
         "  --metrics-out PATH  enable observability and write the metrics\n"
         "                   document (failsig-metrics-v1) to PATH; the main\n"
         "                   report bytes are unaffected\n"
+        "  --backend B      execution backend: sim (default; deterministic,\n"
+        "                   byte-reproducible reports) or tcp (real sockets\n"
+        "                   on localhost; timing is wall-clock)\n"
+        "  --only SUBSTR    run only campaigns whose name contains SUBSTR\n"
         "  --help           this text\n%s",
         program, extra.c_str());
 }
@@ -127,6 +131,16 @@ CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage) {
             opts.out_path = argv[++i];
         } else if (arg == "--metrics-out" && has_value) {
             opts.metrics_out_path = argv[++i];
+        } else if (arg == "--backend" && has_value) {
+            opts.backend = argv[++i];
+            if (opts.backend != "sim" && opts.backend != "tcp") {
+                std::fprintf(stderr, "%s: bad --backend value '%s' (sim or tcp)\n",
+                             argv[0], opts.backend.c_str());
+                opts.error = true;
+                return opts;
+            }
+        } else if (arg == "--only" && has_value) {
+            opts.only = argv[++i];
         } else {
             std::fprintf(stderr, "%s: unknown or incomplete option '%s' (try --help)\n",
                          argv[0], arg.c_str());

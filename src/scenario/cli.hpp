@@ -27,13 +27,20 @@ struct CliOptions {
     /// metrics document (failsig-metrics-v1 snapshots) to this path. The
     /// main report stays byte-identical either way.
     std::string metrics_out_path;
+    /// Execution backend: "" = binary default (the deterministic simulator),
+    /// "sim" or "tcp" (real sockets on localhost; wall-clock timing,
+    /// reports no longer byte-reproducible).
+    std::string backend;
+    /// Campaign/cell name filter: run only entries whose name contains this
+    /// substring. Empty = run everything.
+    std::string only;
     bool help{false};      ///< --help given: usage already printed
     bool error{false};     ///< bad flag/value: message already printed
 };
 
 /// Parses --groups a,b,c / --messages N / --payload N / --batch a,b,c /
-/// --seed N / --jobs N / --out PATH / --help. `extra_usage` is appended to
-/// the usage text.
+/// --seed N / --jobs N / --out PATH / --backend sim|tcp / --only SUBSTR /
+/// --help. `extra_usage` is appended to the usage text.
 /// Callers should exit 0 on `.help` and exit 1 on `.error`.
 CliOptions parse_cli(int argc, char** argv, const std::string& extra_usage = "");
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -34,6 +35,10 @@ Bytes make_payload(std::uint32_t sender, std::uint32_t seq, std::size_t size) {
 /// the metric computation of one run.
 struct RunState {
     const Scenario& s;
+    /// On the sim backend every hook runs on the one driver thread and the
+    /// mutex is uncontended; on the TCP backend delivery/view/fail-signal
+    /// hooks fire on per-node executor threads and genuinely need it.
+    std::mutex mu;
     Trace trace;
     sim::Stats latencies_ms;
     std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> sent_at;
@@ -51,6 +56,7 @@ struct RunState {
         : s(scenario), next_seq(static_cast<std::size_t>(scenario.group_size), 0) {}
 
     void on_sent(int member, std::uint32_t seq, TimePoint now) {
+        const std::lock_guard lock(mu);
         if (sent_count == 0) first_send = now;
         ++sent_count;
         sent_at[{static_cast<std::uint32_t>(member), seq}] = now;
@@ -64,6 +70,7 @@ struct RunState {
     }
 
     void on_delivered(int member, const Bytes& payload, TimePoint now) {
+        const std::lock_guard lock(mu);
         if (payload.size() < 8) return;
         ByteReader r(payload);
         const auto sender = r.u32();
@@ -84,6 +91,7 @@ struct RunState {
     }
 
     void on_view(int member, const newtop::GroupView& view, TimePoint now) {
+        const std::lock_guard lock(mu);
         TraceEvent e;
         e.kind = TraceEvent::Kind::kViewInstalled;
         e.at = now;
@@ -97,6 +105,7 @@ struct RunState {
 
     void on_fail_signal(int member, const std::string& name, const std::string& reason,
                         TimePoint now) {
+        const std::lock_guard lock(mu);
         TraceEvent e;
         e.kind = TraceEvent::Kind::kFailSignal;
         e.at = now;
@@ -107,6 +116,7 @@ struct RunState {
     }
 
     void on_middleware_failure(int member, const std::string& fs_name, TimePoint now) {
+        const std::lock_guard lock(mu);
         TraceEvent e;
         e.kind = TraceEvent::Kind::kMiddlewareFailure;
         e.at = now;
@@ -121,7 +131,7 @@ void fire_send(RunState& st, deploy::Deployment& d, int member, std::size_t payl
     const std::uint32_t seq = st.next_seq[static_cast<std::size_t>(member)]++;
     Bytes payload = make_payload(static_cast<std::uint32_t>(member), seq,
                                  std::max<std::size_t>(payload_size, 8));
-    st.on_sent(member, seq, d.sim().now());
+    st.on_sent(member, seq, d.now());
     d.submit(member, std::move(payload));
 }
 
@@ -154,7 +164,7 @@ void schedule_load(deploy::Deployment& d, RunState& st, const ScenarioEvent& eve
             1, static_cast<Duration>(rng.exponential(mean_us) + 0.5));
         if (t >= end) break;
         const int member = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
-        d.sim().schedule_at(t, [&st, &d, member, payload = spec.payload] {
+        d.schedule(t, [&st, &d, member, payload = spec.payload] {
             fire_send(st, d, member, payload);
         });
     }
@@ -169,7 +179,7 @@ void schedule_workload(deploy::Deployment& d, RunState& st) {
         for (int i = 0; i < n; ++i) {
             const TimePoint at = static_cast<TimePoint>(k) * w.send_interval +
                                  (static_cast<TimePoint>(i) * w.send_interval) / n;
-            d.sim().schedule_at(at, [&st, &d, i] { fire_send(st, d, i); });
+            d.schedule(at, [&st, &d, i] { fire_send(st, d, i); });
         }
     }
 }
@@ -184,10 +194,10 @@ void schedule_timeline(deploy::Deployment& d, RunState& st) {
         // generated inside the event callback; the callback below still
         // records the event in the trace.
         if (event.kind == ScenarioEvent::Kind::kLoad) schedule_load(d, st, event, index);
-        d.sim().schedule_at(event.at, [&st, &d, event] {
+        d.schedule(event.at, [&st, &d, event] {
             TraceEvent te;
             te.kind = TraceEvent::Kind::kScenarioEvent;
-            te.at = d.sim().now();
+            te.at = d.now();
             te.member = event.member;
             te.detail = event.describe();
             using Kind = ScenarioEvent::Kind;
@@ -206,16 +216,16 @@ void schedule_timeline(deploy::Deployment& d, RunState& st) {
                     break;
                 }
                 case Kind::kDelaySurge:
-                    d.network().delay_surge(event.surge_extra, event.surge_until);
+                    d.faults().delay_surge(event.surge_extra, event.surge_until);
                     break;
                 case Kind::kPartition:
                     d.partition(event.groups);
                     break;
                 case Kind::kHealPartition:
-                    d.network().heal_partition();
+                    d.faults().heal_partition();
                     break;
                 case Kind::kDropProbability:
-                    d.network().set_drop_probability(event.drop_probability);
+                    d.faults().set_drop_probability(event.drop_probability);
                     break;
                 case Kind::kBurst:
                     for (int b = 0; b < event.burst_messages; ++b) {
@@ -246,17 +256,17 @@ void drive(deploy::Deployment& d, const Scenario& s) {
         deadline = s.workload_end() + 10 * kSecond;
     }
     if (deadline == 0) {
-        d.sim().run();
+        d.run();
         return;
     }
-    d.sim().run_until(deadline);
+    d.run_until(deadline);
     d.stop_perpetual();
-    d.sim().run_until(deadline + s.settle);
+    d.run_until(deadline + s.settle);
 }
 
 ScenarioReport finish(RunState& st, deploy::Deployment& dep, obs::Obs* obs) {
-    net::SimNetwork& net = dep.network();
-    const TimePoint now = dep.sim().now();
+    net::Transport& net = dep.network();
+    const TimePoint now = dep.now();
     ScenarioReport report;
     report.scenario = st.s;
     report.trace = std::move(st.trace);
@@ -317,6 +327,7 @@ deploy::DeploymentSpec spec_of(const Scenario& s) {
     spec.suspector = s.suspector;
     spec.placement = s.placement;
     spec.fs_config = s.fs_config;
+    spec.backend = s.backend;
     return spec;
 }
 
@@ -372,7 +383,9 @@ ScenarioReport run_scenario(const Scenario& scenario) {
     // parallel sweep workers never share one.
     std::unique_ptr<obs::Obs> obs;
     deploy::DeploymentSpec spec = spec_of(scenario);
-    if (scenario.obs.enabled) {
+    // Observability binds to the one deterministic clock of the sim backend;
+    // the TCP backend has one event loop per node, so tracing stays off there.
+    if (scenario.obs.enabled && scenario.backend == deploy::Backend::kSim) {
         obs = std::make_unique<obs::Obs>(scenario.obs);
         spec.obs = obs.get();
     }
@@ -412,17 +425,17 @@ ScenarioReport run_scenario(const Scenario& scenario) {
     deploy::Observers observers;
     deploy::Deployment& dep = *d;
     observers.delivered = [&st, &dep](int member, const Bytes& payload) {
-        st.on_delivered(member, payload, dep.sim().now());
+        st.on_delivered(member, payload, dep.now());
     };
     observers.view_installed = [&st, &dep](int member, const newtop::GroupView& view) {
-        st.on_view(member, view, dep.sim().now());
+        st.on_view(member, view, dep.now());
     };
     observers.fail_signal = [&st, &dep](int member, const std::string& source,
                                         const std::string& reason) {
-        st.on_fail_signal(member, source, reason, dep.sim().now());
+        st.on_fail_signal(member, source, reason, dep.now());
     };
     observers.middleware_failure = [&st, &dep](int member, const std::string& source) {
-        st.on_middleware_failure(member, source, dep.sim().now());
+        st.on_middleware_failure(member, source, dep.now());
     };
     dep.attach(std::move(observers));
 

@@ -122,6 +122,11 @@ struct Scenario {
     /// (src/explore) searches over. Still a pure function of the Scenario.
     std::uint64_t tie_break_seed{0};
     int threads_per_node{2};
+    /// Execution backend: the deterministic simulator (default; the only
+    /// backend whose reports are byte-identical) or real sockets on
+    /// localhost. Deliberately excluded from the report surface — a report
+    /// describes the scenario, not the machine it ran on.
+    deploy::Backend backend{deploy::Backend::kSim};
     Workload workload{};
     std::vector<ScenarioEvent> timeline;
 

@@ -62,6 +62,15 @@ std::size_t Simulation::run(std::size_t max_events) {
     return fired;
 }
 
+TimePoint Simulation::next_due() {
+    while (!heap_.empty()) {
+        if (is_live(heap_.front())) return heap_.front().at;
+        pop_event();
+        --cancelled_in_heap_;
+    }
+    return kNoEvent;
+}
+
 std::size_t Simulation::run_until(TimePoint until) {
     std::size_t fired = 0;
     while (!heap_.empty()) {

@@ -66,6 +66,16 @@ public:
     /// `until`. Returns events fired.
     std::size_t run_until(TimePoint until);
 
+    /// Sentinel `next_due()` value: no live event is pending.
+    static constexpr TimePoint kNoEvent = INT64_MAX;
+
+    /// Earliest live event's firing time, or kNoEvent if the queue holds no
+    /// live events. Prunes cancelled entries off the heap top as a side
+    /// effect (owning-thread only, like every other member). This is the
+    /// seam a multi-loop host (one Simulation per node, a shared virtual
+    /// clock) uses to decide how far time can fast-forward.
+    [[nodiscard]] TimePoint next_due();
+
     [[nodiscard]] bool empty() const { return handlers_.empty(); }
     [[nodiscard]] std::size_t pending() const { return handlers_.size(); }
     [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }

@@ -1,0 +1,74 @@
+// Time sources behind one interface.
+//
+// Everything that stamps an observation — the scenario engine's observers,
+// the obs histograms, the invariant checkers' trace events — reads time
+// through `time::Clock` instead of reaching into a `sim::Simulation`
+// directly. Three implementations cover the deployment matrix:
+//  * `SimClock`    — simulated ticks from one discrete-event Simulation
+//                    (the deterministic backends; byte-identical to the
+//                    historical `sim().now()` reads),
+//  * `SteadyClock` — monotonic wall-clock microseconds since construction
+//                    (real-transport benches, where latency is measured on
+//                    the host, not in the model),
+//  * whatever a deployment mounts — `deploy::TcpDeployment` publishes a
+//    virtual-time clock that all of its executor threads share.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace failsig::time {
+
+/// A monotonic microsecond time source. `now()` must be safe to call from
+/// any thread the owning deployment runs upcalls on.
+class Clock {
+public:
+    virtual ~Clock() = default;
+    [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Simulated time: reads the event queue's clock. Single-threaded by
+/// construction, like the Simulation it wraps.
+class SimClock final : public Clock {
+public:
+    explicit SimClock(const sim::Simulation& sim) : sim_(&sim) {}
+    [[nodiscard]] TimePoint now() const override { return sim_->now(); }
+
+private:
+    const sim::Simulation* sim_;
+};
+
+/// Wall-clock time: monotonic microseconds since this clock was built.
+/// Thread-safe (steady_clock reads only).
+class SteadyClock final : public Clock {
+public:
+    SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] TimePoint now() const override {
+        const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+        return static_cast<TimePoint>(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+    }
+
+private:
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Shared virtual time: a deployment-owned tick counter advanced by a
+/// coordinator and read from many threads. The TCP backend uses this so a
+/// 8-simulated-seconds fault timeline replays in milliseconds of wall time
+/// while every thread still agrees on "now".
+class VirtualClock final : public Clock {
+public:
+    [[nodiscard]] TimePoint now() const override {
+        return now_.load(std::memory_order_acquire);
+    }
+    void advance_to(TimePoint t) { now_.store(t, std::memory_order_release); }
+
+private:
+    std::atomic<TimePoint> now_{0};
+};
+
+}  // namespace failsig::time

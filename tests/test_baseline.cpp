@@ -105,7 +105,7 @@ TEST(Pbft, CrashedBackupDoesNotBlockProgress) {
     opts.replicas = 4;
     PbftDeployment d(opts);
     // Disconnect replica 3 (a backup): quorum 2f+1 = 3 still reachable.
-    for (ReplicaId r = 0; r < 3; ++r) d.network().block(d.node_of(3), d.node_of(r));
+    for (ReplicaId r = 0; r < 3; ++r) d.faults().block(d.node_of(3), d.node_of(r));
     d.submit(0, bytes_of("go"));
     d.sim().run();
     for (ReplicaId r = 0; r < 3; ++r) {
@@ -122,7 +122,7 @@ TEST(Pbft, SilentPrimaryStallsUntilTimeoutViewChange) {
     PbftDeployment d(opts);
 
     // Cut off the primary (replica 0 in view 0).
-    for (ReplicaId r = 1; r < 4; ++r) d.network().block(d.node_of(0), d.node_of(r));
+    for (ReplicaId r = 1; r < 4; ++r) d.faults().block(d.node_of(0), d.node_of(r));
 
     d.submit(1, bytes_of("stuck"));
     d.sim().run();  // quiesce: nothing can progress

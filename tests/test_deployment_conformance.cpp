@@ -3,12 +3,18 @@
 // attach and fire, submissions are delivered with total-order agreement,
 // crashes silence the crashed member without stopping the healthy ones, and
 // capability-gated hooks report their absence instead of misbehaving. The
-// suite runs instantiated over all three registered systems, exactly the
-// guarantee the scenario engine's single generic path relies on.
+// suite runs instantiated over all three registered systems TIMES both
+// execution backends (deterministic simulator, real TCP sockets) — exactly
+// the guarantee the scenario engine's single generic path relies on.
+// Byte-identical replay is asserted on the sim backend only; everything
+// else (delivery accounting, total order, crash semantics, capability
+// gating) must hold identically over real sockets.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -34,8 +40,11 @@ Tag parse_tag(const Bytes& payload) {
     return {sender, seq};
 }
 
-/// Everything the observers saw, keyed by member.
+/// Everything the observers saw, keyed by member. On the TCP backend the
+/// callbacks fire on per-node executor threads, hence the mutex (reads
+/// happen after the run, at quiescence).
 struct Observed {
+    std::mutex mu;
     std::vector<std::vector<Tag>> delivered;
     int views{0};
     int fail_signals{0};
@@ -52,21 +61,30 @@ struct Observed {
 Observers observers_into(Observed& seen) {
     Observers obs;
     obs.delivered = [&seen](int member, const Bytes& payload) {
+        const std::lock_guard lock(seen.mu);
         seen.delivered[static_cast<std::size_t>(member)].push_back(parse_tag(payload));
     };
-    obs.view_installed = [&seen](int, const newtop::GroupView&) { ++seen.views; };
+    obs.view_installed = [&seen](int, const newtop::GroupView&) {
+        const std::lock_guard lock(seen.mu);
+        ++seen.views;
+    };
     obs.fail_signal = [&seen](int, const std::string&, const std::string&) {
+        const std::lock_guard lock(seen.mu);
         ++seen.fail_signals;
     };
-    obs.middleware_failure = [&seen](int, const std::string&) { ++seen.middleware_failures; };
+    obs.middleware_failure = [&seen](int, const std::string&) {
+        const std::lock_guard lock(seen.mu);
+        ++seen.middleware_failures;
+    };
     return obs;
 }
 
 /// A spec each system can run a crash campaign under: NewTOP needs live
 /// suspectors to exclude a silent member, FS-NewTOP needs the dedicated-node
 /// placement to express host-level faults, PBFT needs 3f+1 replicas.
-DeploymentSpec spec_for(SystemKind kind, bool crash_ready) {
+DeploymentSpec spec_for(SystemKind kind, Backend backend, bool crash_ready) {
     DeploymentSpec spec;
+    spec.backend = backend;
     spec.group_size = kind == SystemKind::kPbft ? 4 : 3;
     spec.seed = 21;
     spec.threads_per_node = 2;
@@ -91,7 +109,7 @@ void schedule_workload(Deployment& d, TimePoint from, int msgs, std::uint32_t fi
             const TimePoint at = from + static_cast<TimePoint>(k) * interval +
                                  (static_cast<TimePoint>(i) * interval) / n;
             const std::uint32_t seq = first_seq + static_cast<std::uint32_t>(k);
-            d.sim().schedule_at(at, [&d, i, seq] {
+            d.schedule(at, [&d, i, seq] {
                 d.submit(i, tagged_payload(static_cast<std::uint32_t>(i), seq));
             });
         }
@@ -101,55 +119,67 @@ void schedule_workload(Deployment& d, TimePoint from, int msgs, std::uint32_t fi
 /// Runs to quiescence when the stack has none of its own perpetual activity,
 /// else to a deadline with a settle window — same shape as the engine.
 void drive(Deployment& d, TimePoint deadline) {
-    d.sim().run_until(deadline);
+    d.run_until(deadline);
     d.stop_perpetual();
-    d.sim().run_until(deadline + 30 * kSecond);
+    d.run_until(deadline + 30 * kSecond);
 }
 
-class DeploymentConformance : public ::testing::TestWithParam<SystemKind> {};
+/// (system, backend): the full conformance matrix.
+using Cell = std::tuple<SystemKind, Backend>;
+
+class DeploymentConformance : public ::testing::TestWithParam<Cell> {
+protected:
+    [[nodiscard]] static SystemKind system() { return std::get<0>(GetParam()); }
+    [[nodiscard]] static Backend backend() { return std::get<1>(GetParam()); }
+    [[nodiscard]] static DeploymentSpec spec(bool crash_ready) {
+        return spec_for(system(), backend(), crash_ready);
+    }
+    [[nodiscard]] static std::unique_ptr<Deployment> deployment(bool crash_ready) {
+        return make_deployment(system(), spec(crash_ready));
+    }
+};
 
 TEST_P(DeploymentConformance, FactoryBuildsAndExposesTopology) {
-    const DeploymentSpec spec = spec_for(GetParam(), false);
-    const auto d = make_deployment(GetParam(), spec);
+    const auto d = deployment(false);
     ASSERT_NE(d, nullptr);
-    EXPECT_EQ(d->group_size(), spec.group_size);
+    EXPECT_EQ(d->group_size(), spec(false).group_size);
     for (int i = 0; i < d->group_size(); ++i) {
         EXPECT_FALSE(d->nodes_of(i).empty()) << "member " << i;
     }
-    // The owning simulation and network are reachable through the interface.
-    EXPECT_EQ(d->sim().now(), 0);
+    // Clock, transport and fault plane are reachable through the interface.
+    EXPECT_EQ(d->now(), 0);
+    EXPECT_EQ(d->clock().now(), 0);
     EXPECT_EQ(d->network().messages_sent(), 0u);
 }
 
 TEST_P(DeploymentConformance, FactoryEnforcesTheSystemsGroupSizeFloor) {
-    const SystemTraits traits = traits_of(GetParam());
+    const SystemTraits traits = traits_of(system());
     EXPECT_GE(traits.min_group_size, 1);
     if (traits.min_group_size > 1) {
-        DeploymentSpec spec = spec_for(GetParam(), false);
-        spec.group_size = traits.min_group_size - 1;
-        EXPECT_THROW(make_deployment(GetParam(), spec), std::logic_error);
+        DeploymentSpec small = spec(false);
+        small.group_size = traits.min_group_size - 1;
+        EXPECT_THROW(make_deployment(system(), small), std::logic_error);
     }
 }
 
 TEST_P(DeploymentConformance, DeliveryAccountingIsCompleteAndTotallyOrdered) {
-    const DeploymentSpec spec = spec_for(GetParam(), false);
-    const auto d = make_deployment(GetParam(), spec);
+    const auto d = deployment(false);
     Observed seen(d->group_size());
     d->attach(observers_into(seen));
 
     const int msgs = 4;
     schedule_workload(*d, 0, msgs, 0);
-    d->sim().run();
+    d->run();
 
     const auto expected =
         static_cast<std::size_t>(msgs) * static_cast<std::size_t>(d->group_size());
     for (int i = 0; i < d->group_size(); ++i) {
         EXPECT_EQ(seen.delivered[static_cast<std::size_t>(i)].size(), expected)
-            << name_of(GetParam()) << " member " << i;
+            << name_of(system()) << "/" << name_of(backend()) << " member " << i;
         // All three stacks provide total order: every member sees the same
         // delivery sequence.
         EXPECT_EQ(seen.delivered[static_cast<std::size_t>(i)], seen.delivered[0])
-            << name_of(GetParam()) << " member " << i;
+            << name_of(system()) << "/" << name_of(backend()) << " member " << i;
     }
     EXPECT_EQ(seen.fail_signals, 0);
     EXPECT_EQ(seen.middleware_failures, 0);
@@ -157,22 +187,25 @@ TEST_P(DeploymentConformance, DeliveryAccountingIsCompleteAndTotallyOrdered) {
 }
 
 TEST_P(DeploymentConformance, IdenticalSpecsProduceIdenticalDeliverySequences) {
-    const DeploymentSpec spec = spec_for(GetParam(), false);
+    if (backend() != Backend::kSim) {
+        GTEST_SKIP() << "byte-identical replay is the sim backend's contract; "
+                        "real sockets promise agreement, not replay";
+    }
     std::vector<std::vector<Tag>> logs[2];
     for (auto& log : logs) {
-        const auto d = make_deployment(GetParam(), spec);
+        const auto d = deployment(false);
         Observed seen(d->group_size());
         d->attach(observers_into(seen));
         schedule_workload(*d, 0, 3, 0);
-        d->sim().run();
+        d->run();
         log = seen.delivered;
     }
-    EXPECT_EQ(logs[0], logs[1]) << name_of(GetParam());
+    EXPECT_EQ(logs[0], logs[1]) << name_of(system());
 }
 
 TEST_P(DeploymentConformance, CrashSilencesTheMemberWithoutStoppingTheGroup) {
-    const SystemKind kind = GetParam();
-    const auto d = make_deployment(kind, spec_for(kind, true));
+    const SystemKind kind = system();
+    const auto d = deployment(true);
     Observed seen(d->group_size());
     d->attach(observers_into(seen));
 
@@ -180,9 +213,9 @@ TEST_P(DeploymentConformance, CrashSilencesTheMemberWithoutStoppingTheGroup) {
     // One pre-crash message from everyone, then the crash, then two
     // post-crash messages from member 0.
     schedule_workload(*d, 0, 1, 0);
-    d->sim().schedule_at(400 * kMillisecond, [&d, victim] { d->crash(victim); });
+    d->schedule(400 * kMillisecond, [&d, victim] { d->crash(victim); });
     for (std::uint32_t k = 0; k < 2; ++k) {
-        d->sim().schedule_at(2 * kSecond + k * (80 * kMillisecond), [&d, k] {
+        d->schedule(2 * kSecond + k * (80 * kMillisecond), [&d, k] {
             d->submit(0, tagged_payload(0, 1 + k));
         });
     }
@@ -214,8 +247,8 @@ TEST_P(DeploymentConformance, CrashDuringViewChangeWithInFlightMulticastsPreserv
     // in-flight message lands at the same position everywhere or nowhere.
     // PBFT has no membership views but must honour the same agreement
     // clause, so the test runs on all three stacks.
-    const SystemKind kind = GetParam();
-    const auto d = make_deployment(kind, spec_for(kind, true));
+    const SystemKind kind = system();
+    const auto d = deployment(true);
     Observed seen(d->group_size());
     d->attach(observers_into(seen));
 
@@ -226,15 +259,15 @@ TEST_P(DeploymentConformance, CrashDuringViewChangeWithInFlightMulticastsPreserv
     schedule_workload(*d, 0, 1, 0);
     for (std::uint32_t k = 0; k < 3; ++k) {
         for (int i = 0; i < d->group_size(); ++i) {
-            d->sim().schedule_at(395 * kMillisecond + k * kMillisecond, [&d, i, k] {
+            d->schedule(395 * kMillisecond + k * kMillisecond, [&d, i, k] {
                 d->submit(i, tagged_payload(static_cast<std::uint32_t>(i), 50 + k));
             });
         }
     }
-    d->sim().schedule_at(400 * kMillisecond, [&d, victim] { d->crash(victim); });
+    d->schedule(400 * kMillisecond, [&d, victim] { d->crash(victim); });
     // Traffic after the reconfiguration proves the group is not wedged.
     for (std::uint32_t k = 0; k < 2; ++k) {
-        d->sim().schedule_at(3 * kSecond + k * (80 * kMillisecond), [&d, k] {
+        d->schedule(3 * kSecond + k * (80 * kMillisecond), [&d, k] {
             d->submit(0, tagged_payload(0, 200 + k));
         });
     }
@@ -268,11 +301,11 @@ TEST_P(DeploymentConformance, CrashWithPendingUnflushedBatchKeepsValidityAccount
     // validity accounting: they may never surface at any healthy member
     // (they were never multicast), and the healthy group's own traffic must
     // keep flowing and agreeing.
-    const SystemKind kind = GetParam();
-    DeploymentSpec spec = spec_for(kind, true);
-    spec.batch.max_requests = 8;                      // far above what we submit
-    spec.batch.flush_after = 300 * kMillisecond;      // deadline lands after the crash
-    const auto d = make_deployment(kind, spec);
+    const SystemKind kind = system();
+    DeploymentSpec batched = spec(true);
+    batched.batch.max_requests = 8;                   // far above what we submit
+    batched.batch.flush_after = 300 * kMillisecond;   // deadline lands after the crash
+    const auto d = make_deployment(kind, batched);
     Observed seen(d->group_size());
     d->attach(observers_into(seen));
 
@@ -284,14 +317,14 @@ TEST_P(DeploymentConformance, CrashWithPendingUnflushedBatchKeepsValidityAccount
     // bound (8) is not reached and the 300 ms deadline is still pending when
     // the host dies at 400 ms.
     for (std::uint32_t k = 0; k < 3; ++k) {
-        d->sim().schedule_at(390 * kMillisecond, [&d, victim, vid, k] {
+        d->schedule(390 * kMillisecond, [&d, victim, vid, k] {
             d->submit(victim, tagged_payload(vid, 100 + k));
         });
     }
-    d->sim().schedule_at(400 * kMillisecond, [&d, victim] { d->crash(victim); });
+    d->schedule(400 * kMillisecond, [&d, victim] { d->crash(victim); });
     // Healthy traffic after the crash.
     for (std::uint32_t k = 0; k < 2; ++k) {
-        d->sim().schedule_at(2 * kSecond + k * (80 * kMillisecond), [&d, k] {
+        d->schedule(2 * kSecond + k * (80 * kMillisecond), [&d, k] {
             d->submit(0, tagged_payload(0, 1 + k));
         });
     }
@@ -325,8 +358,8 @@ TEST_P(DeploymentConformance, CrashWithPendingUnflushedBatchKeepsValidityAccount
 }
 
 TEST_P(DeploymentConformance, CapabilityHooksReportTheirAbsenceInsteadOfActing) {
-    const SystemKind kind = GetParam();
-    const auto d = make_deployment(kind, spec_for(kind, false));
+    const SystemKind kind = system();
+    const auto d = deployment(false);
 
     FaultInjection fault;
     fault.member = 0;
@@ -341,7 +374,7 @@ TEST_P(DeploymentConformance, CapabilityHooksReportTheirAbsenceInsteadOfActing) 
     const bool collocated_fs = kind == SystemKind::kFsNewTop;
     EXPECT_EQ(d->supports_host_faults(), !collocated_fs);
     if (kind == SystemKind::kFsNewTop) {
-        DeploymentSpec full = spec_for(kind, false);
+        DeploymentSpec full = spec(false);
         full.placement = fsnewtop::Placement::kFull;
         EXPECT_TRUE(make_deployment(kind, full)->supports_host_faults());
     }
@@ -350,16 +383,19 @@ TEST_P(DeploymentConformance, CapabilityHooksReportTheirAbsenceInsteadOfActing) 
     d->stop_perpetual();
 }
 
-std::string system_test_name(const ::testing::TestParamInfo<SystemKind>& info) {
-    std::string name = name_of(info.param);
+std::string cell_test_name(const ::testing::TestParamInfo<Cell>& info) {
+    std::string name = name_of(std::get<0>(info.param));
     std::erase(name, '-');
+    name += std::get<1>(info.param) == Backend::kSim ? "Sim" : "Tcp";
     return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSystems, DeploymentConformance,
-                         ::testing::Values(SystemKind::kNewTop, SystemKind::kFsNewTop,
-                                           SystemKind::kPbft),
-                         system_test_name);
+                         ::testing::Combine(::testing::Values(SystemKind::kNewTop,
+                                                              SystemKind::kFsNewTop,
+                                                              SystemKind::kPbft),
+                                            ::testing::Values(Backend::kSim, Backend::kTcp)),
+                         cell_test_name);
 
 }  // namespace
 }  // namespace failsig::deploy

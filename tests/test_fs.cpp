@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "fs/client.hpp"
+#include "net/network.hpp"
 #include "fs/process.hpp"
 
 namespace failsig::fs {
@@ -82,7 +83,7 @@ struct World {
         : net(sim, Rng(seed)),
           domain(sim, net, sim::CostModel{}, pool_threads),
           keys(crypto::KeyService::Backend::kHmac, 512, seed),
-          host(FsRuntime{sim, net, domain, keys, directory}) {}
+          host(FsRuntime{net, domain, keys, directory}) {}
 
     sim::Simulation sim;
     net::SimNetwork net;

@@ -159,7 +159,7 @@ TEST(FsNewTop, CrashedPairNodeYieldsFailSignalNotSilence) {
     d.invocation(0).multicast(ServiceType::kSymmetricTotalOrder, bytes_of("warm"));
     d.sim().run();
 
-    d.network().block(NodeId{3}, NodeId{4});  // member 1's pair nodes (kFull layout)
+    d.faults().block(NodeId{3}, NodeId{4});  // member 1's pair nodes (kFull layout)
     d.invocation(0).multicast(ServiceType::kSymmetricTotalOrder, bytes_of("trigger"));
     d.sim().run_until(60 * kSecond);
 
@@ -181,7 +181,7 @@ TEST(FsNewTop, DelaySurgeDoesNotSplitTheGroup) {
     d.invocation(0).multicast(ServiceType::kSymmetricTotalOrder, bytes_of("before"));
     d.sim().run();
 
-    d.network().delay_surge(1 * kSecond, d.sim().now() + 2 * kSecond);
+    d.faults().delay_surge(1 * kSecond, d.sim().now() + 2 * kSecond);
     d.invocation(1).multicast(ServiceType::kSymmetricTotalOrder, bytes_of("during"));
     d.sim().run_until(d.sim().now() + 10 * kSecond);
     d.sim().run();

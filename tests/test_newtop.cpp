@@ -687,8 +687,8 @@ TEST(NewTopDeployment, CrashDetectionRemovesMemberFromView) {
     NewTopDeployment d(opts);
 
     // "Crash" member 2 by cutting its node off the network.
-    d.network().block(d.node_of(2), d.node_of(0));
-    d.network().block(d.node_of(2), d.node_of(1));
+    d.faults().block(d.node_of(2), d.node_of(0));
+    d.faults().block(d.node_of(2), d.node_of(1));
 
     d.sim().run_until(3 * kSecond);
     d.stop_suspectors();
@@ -714,7 +714,7 @@ TEST(NewTopDeployment, FalseSuspicionSplitsGroupWithoutAnyFailure) {
     EXPECT_EQ(d.gc(0).view().members, (std::vector<MemberId>{0, 1, 2}));
 
     // Delay surge far above the suspect timeout, for 2 simulated seconds.
-    d.network().delay_surge(1 * kSecond, d.sim().now() + 2 * kSecond);
+    d.faults().delay_surge(1 * kSecond, d.sim().now() + 2 * kSecond);
     d.sim().run_until(d.sim().now() + 5 * kSecond);
     d.stop_suspectors();
     d.sim().run();

@@ -2,6 +2,7 @@
 // interceptors, thread-pool dispatch, per-node pool sharing.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
 #include "orb/orb.hpp"
 
 namespace failsig::orb {
