@@ -373,6 +373,77 @@ void bench_batching(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint/recovery counters: the crash -> recover -> rejoin arc
+// ---------------------------------------------------------------------------
+
+void bench_recovery(scenario::JsonWriter& w, bool smoke, std::uint64_t seed) {
+    // One pinned churn cell per stack on the deterministic simulator: two
+    // settled workload rounds, a crash, a burst the victim misses, the
+    // rejoin, and post-rejoin traffic. Every emitted field is a pure
+    // function of the seed, so compare_bench.py gates them exactly:
+    // checkpoints taken, PBFT log slots truncated and the log's high-water
+    // mark (the boundedness witness), state transfers served, rejoins
+    // completed, and the flush-eviction gap count (soundness witness,
+    // must stay 0).
+    const std::vector<scenario::SystemKind> systems = {scenario::SystemKind::kNewTop,
+                                                       scenario::SystemKind::kFsNewTop,
+                                                       scenario::SystemKind::kPbft};
+    w.begin_array("recovery");
+    for (const auto system : systems) {
+        const int n = system == scenario::SystemKind::kPbft ? 4 : 3;
+        scenario::Scenario cell;
+        cell.system = system;
+        cell.group_size = n;
+        cell.seed = scenario::derive_cell_seed(seed, system, n);
+        cell.name = "recovery/" + std::string(scenario::name_of(system)) + "/n" +
+                    std::to_string(n);
+        cell.checkpoint_interval = 3;
+        cell.workload.msgs_per_member = smoke ? 4 : 8;
+        const int victim = n - 1;
+        cell.timeline.push_back(scenario::ScenarioEvent::crash(600 * kMillisecond, victim));
+        cell.timeline.push_back(scenario::ScenarioEvent::burst(1500 * kMillisecond, 0, 3));
+        cell.timeline.push_back(scenario::ScenarioEvent::recover(4 * kSecond, victim));
+        cell.timeline.push_back(scenario::ScenarioEvent::burst(8 * kSecond, 0, 2));
+        cell.deadline = 11 * kSecond;
+        if (system == scenario::SystemKind::kNewTop) {
+            cell.start_suspectors = true;
+            cell.suspector.ping_interval = 50 * kMillisecond;
+            cell.suspector.suspect_timeout = 300 * kMillisecond;
+        }
+        if (system == scenario::SystemKind::kFsNewTop) {
+            cell.placement = fsnewtop::Placement::kFull;
+        }
+
+        const double start = now_ms();
+        const auto report = scenario::run_scenario(cell);
+        const double wall = now_ms() - start;
+        const auto& r = report.recovery;
+        w.begin_object();
+        w.field("name", cell.name);
+        w.field("system", scenario::name_of(system));
+        w.field("group_size", n);
+        w.field("checkpoints_taken", r.checkpoints_taken);
+        w.field("log_slots_truncated", r.log_slots_truncated);
+        w.field("log_slots_retained", r.log_slots_retained);
+        w.field("state_transfers_served", r.state_transfers_served);
+        w.field("rejoins_completed", r.rejoins_completed);
+        w.field("flush_log_evictions", r.flush_log_evictions);
+        w.field("flush_eviction_gaps", r.flush_eviction_gaps);
+        w.field("all_invariants_passed", report.all_invariants_passed());
+        w.field("wall_ms", wall);
+        w.end_object();
+        std::printf("recovery %-22s %llu checkpoints | %llu slots truncated "
+                    "(high-water %llu) | %llu rejoins | invariants %s | %.0f ms\n",
+                    cell.name.c_str(), static_cast<unsigned long long>(r.checkpoints_taken),
+                    static_cast<unsigned long long>(r.log_slots_truncated),
+                    static_cast<unsigned long long>(r.log_slots_retained),
+                    static_cast<unsigned long long>(r.rejoins_completed),
+                    report.all_invariants_passed() ? "ok" : "FAIL", wall);
+    }
+    w.end_array();
+}
+
+// ---------------------------------------------------------------------------
 // Real-socket wall clock: the three stacks on localhost TCP
 // ---------------------------------------------------------------------------
 
@@ -536,6 +607,7 @@ int main(int argc, char** argv) {
     bench_sweep_cells(w, smoke, seed);
     bench_tcp_wallclock(w, smoke, seed);
     bench_batching(w, smoke, seed);
+    bench_recovery(w, smoke, seed);
     bench_obs(w, smoke, seed, metrics_out);
     w.end_object();
 

@@ -58,6 +58,9 @@ void usage(const char* prog) {
         "                           (episodes done, episodes/sec, violations);\n"
         "                           the report stays byte-identical\n"
         "  --no-shrink              report violations without minimizing\n"
+        "  --churn                  add crash->recover->rejoin arcs to the\n"
+        "                           grammar (periodic checkpoints on; NewTOP\n"
+        "                           cells need --unsound-suspectors to draw it)\n"
         "  --unsound-suspectors     add NewTOP timeout suspectors to the grammar\n"
         "                           (explores the paper's known false-suspicion\n"
         "                           pathology; violations are then EXPECTED)\n"
@@ -290,6 +293,8 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--no-shrink") {
             config.shrink = false;
+        } else if (arg == "--churn") {
+            config.grammar.churn = true;
         } else if (arg == "--unsound-suspectors") {
             config.grammar.newtop_suspectors = true;
         } else if (arg == "--exclusive-overlap") {

@@ -1,0 +1,107 @@
+// Replicated application state: a deterministic KV store driven by the
+// delivery upcall of every ordering stack (NewTOP, FS-NewTOP, PBFT).
+//
+// Until now the app layer only counted deliveries, so "the replicas agree"
+// was tested one level below where it matters. This store turns every
+// ordered unit into a state transition over a bounded key space and folds
+// each applied request into a running chain digest: two replicas hold the
+// same digest after N applies iff they applied the same requests in the
+// same order. That digest is what the new scenario checkers compare
+// (rejoined-state == survivor-state, KV linearizability against the
+// committed prefix) and what the checkpoint/state-transfer paths ship.
+//
+// Determinism rules: no wall clock, no randomness, no allocation-order
+// dependence. Applying is message-free — a store living beside a protocol
+// stack never changes what goes on the wire, which keeps pre-existing
+// sim-backend reports byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace failsig::app {
+
+/// One periodic checkpoint: the digest chained over the first `applied`
+/// requests. Replicas with the same prefix record identical pairs.
+struct KvCheckpoint {
+    std::uint64_t applied{0};
+    std::uint64_t digest{0};
+
+    friend bool operator==(const KvCheckpoint&, const KvCheckpoint&) = default;
+};
+
+class KvStore {
+public:
+    /// Keys are a hash of the request body folded into a small fixed space:
+    /// sustained load keeps overwriting the same slots, so the store itself
+    /// stays bounded no matter how long the run is.
+    static constexpr std::uint32_t kKeySpace = 64;
+    /// Snapshot wire magic ("KVAP").
+    static constexpr std::uint32_t kSnapshotMagic = 0x4B564150;
+    /// Checkpoints retained for the linearizability checker's prefix
+    /// comparison; older ones roll off.
+    static constexpr std::size_t kCheckpointHistory = 16;
+
+    /// `checkpoint_interval` = take a checkpoint every that many applied
+    /// requests; 0 disables periodic checkpoints (digest still maintained).
+    explicit KvStore(std::uint64_t checkpoint_interval = 0)
+        : checkpoint_interval_(checkpoint_interval) {}
+
+    /// Applies one ordered unit. Batch frames are unbatched here so the
+    /// resulting state is exactly that of the b individual requests in
+    /// submission order. Returns the number of requests applied.
+    std::size_t apply(std::span<const std::uint8_t> unit);
+
+    /// Records {applied, digest} now (also called automatically on the
+    /// periodic interval).
+    void take_checkpoint();
+
+    /// Read path: current value under `key` (hashed into the key space), or
+    /// nullopt if never written. Reads are served from the committed prefix
+    /// only — there is no speculative state to leak.
+    [[nodiscard]] std::optional<std::uint64_t> read(std::uint32_t key) const;
+
+    [[nodiscard]] std::uint64_t applied() const { return applied_; }
+    [[nodiscard]] std::uint64_t digest() const { return digest_; }
+    [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+    [[nodiscard]] const std::deque<KvCheckpoint>& checkpoints() const { return checkpoints_; }
+    [[nodiscard]] std::uint64_t checkpoint_interval() const { return checkpoint_interval_; }
+
+    /// Human-readable state line for trace events:
+    /// "applied=N digest=HEX checkpoints=a1:d1,a2:d2,...".
+    [[nodiscard]] std::string state_string() const;
+
+    /// Full-state codec for checkpoint transfer / rejoin grants. Counts are
+    /// validated on decode (fuzz target — see tests/test_recovery.cpp).
+    [[nodiscard]] Bytes snapshot() const;
+    /// Replaces this store's state with the snapshot; the local
+    /// checkpoint_interval is preserved. Returns an error (state untouched)
+    /// on any malformed input.
+    Result<bool> restore(std::span<const std::uint8_t> data);
+
+    /// State equality (interval excluded: it is configuration, not state).
+    [[nodiscard]] bool state_equals(const KvStore& other) const {
+        return applied_ == other.applied_ && digest_ == other.digest_ &&
+               store_ == other.store_ && checkpoints_ == other.checkpoints_;
+    }
+
+private:
+    void apply_one(std::span<const std::uint8_t> request);
+
+    std::uint64_t checkpoint_interval_{0};
+    std::uint64_t applied_{0};
+    /// FNV-1a offset basis; chained over every applied request.
+    std::uint64_t digest_{0xcbf29ce484222325ull};
+    std::map<std::uint32_t, std::uint64_t> store_;
+    std::deque<KvCheckpoint> checkpoints_;
+    std::uint64_t checkpoints_taken_{0};
+};
+
+}  // namespace failsig::app

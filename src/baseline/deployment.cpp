@@ -50,7 +50,19 @@ public:
     }
 
     void dispatch(const orb::Request& request) override {
-        if (request.operation != "deliver" || !request.args.is<Bytes>()) return;
+        if (!request.args.is<Bytes>()) return;
+        if (request.operation == "recovered") {
+            // The replica restarts its delivery stream at watermark+1 after a
+            // state transfer; whatever was held back belongs to the pre-crash
+            // stream and is dead.
+            const Bytes& body = request.args.as<Bytes>();
+            if (body.size() != 8) return;
+            ByteReader r(body);
+            next_seq_ = r.u64() + 1;
+            holdback_.clear();
+            return;
+        }
+        if (request.operation != "deliver") return;
         auto d = PbftDelivery::decode(request.args.as<Bytes>());
         if (!d.has_value()) return;
         // Re-sequence on the replica's commit order: the replica emits
@@ -143,6 +155,7 @@ PbftDeployment::PbftDeployment(const PbftOptions& options)
         cfg.protocol_op_cost = options.costs.gc_protocol_op;
         cfg.obs = options.obs;
         cfg.obs_member = static_cast<int>(i);
+        cfg.checkpoint_interval = options.checkpoint_interval;
 
         replicas_.push_back(
             std::make_unique<PbftServant>(*orbs[i], "pbft", std::make_unique<PbftReplica>(cfg)));
@@ -204,7 +217,15 @@ void PbftDeployment::fire_timeouts(ReplicaId at) {
     servant->submit_local("timeout", w.take());
 }
 
+void PbftDeployment::begin_recovery(ReplicaId at) {
+    replicas_.at(at)->submit_local("recover", Bytes{});
+}
+
 PbftReplica& PbftDeployment::replica(ReplicaId r) { return replicas_.at(r)->replica(); }
+
+const PbftReplica& PbftDeployment::replica(ReplicaId r) const {
+    return replicas_.at(r)->replica();
+}
 
 const std::vector<std::string>& PbftDeployment::delivered(ReplicaId r) const {
     return delivered_.at(r);

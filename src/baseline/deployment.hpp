@@ -29,6 +29,9 @@ struct PbftOptions {
     /// External runtime (the TCP backend): transport/fault plane/per-node
     /// event loops. Default (all null) = stack-owned sim world.
     net::RuntimeEnv env{};
+    /// Checkpoint every this many delivered requests (log truncation +
+    /// state-transfer source); 0 = off.
+    std::uint64_t checkpoint_interval{0};
 };
 
 /// Hosts one PbftReplica as an ORB servant with serialized execution and
@@ -41,6 +44,7 @@ public:
     void submit_local(const std::string& operation, Bytes body);
 
     [[nodiscard]] PbftReplica& replica() { return *replica_; }
+    [[nodiscard]] const PbftReplica& replica() const { return *replica_; }
     [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
 
 private:
@@ -81,7 +85,12 @@ public:
     /// these onto the replica's own executor).
     void fire_timeouts(ReplicaId at);
 
+    /// Starts the state-transfer rejoin at `at`: the replica wipes its log
+    /// and asks its peers for a stable snapshot + committed suffix.
+    void begin_recovery(ReplicaId at);
+
     [[nodiscard]] PbftReplica& replica(ReplicaId r);
+    [[nodiscard]] const PbftReplica& replica(ReplicaId r) const;
     /// Delivered (seq -> "origin:payload") log observed at replica r.
     [[nodiscard]] const std::vector<std::string>& delivered(ReplicaId r) const;
 

@@ -1,5 +1,7 @@
 #include "baseline/pbft.hpp"
 
+#include <iterator>
+
 #include "crypto/md5.hpp"
 
 namespace failsig::baseline {
@@ -54,7 +56,7 @@ Result<PbftMessage> PbftMessage::decode(std::span<const std::uint8_t> data) {
         ByteReader r(data);
         PbftMessage m;
         const auto kind_raw = r.u8();
-        if (kind_raw < 1 || kind_raw > 5) return Result<PbftMessage>::err("bad PbftKind");
+        if (kind_raw < 1 || kind_raw > 8) return Result<PbftMessage>::err("bad PbftKind");
         m.kind = static_cast<PbftKind>(kind_raw);
         m.sender = r.u32();
         m.view = r.u64();
@@ -96,12 +98,71 @@ Result<PbftDelivery> PbftDelivery::decode(std::span<const std::uint8_t> data) {
     }
 }
 
+std::size_t RecoveryState::wire_size() const {
+    std::size_t size = 8 + 8 + 8 + (4 + app_snapshot.size()) + 4;
+    for (const auto& [seq, req] : suffix) size += 8 + 4 + req.wire_size();
+    return size;
+}
+
+Bytes RecoveryState::encode() const {
+    ByteWriter w;
+    w.reserve(wire_size());
+    w.u64(view);
+    w.u64(snapshot_watermark);
+    w.u64(last_delivered);
+    w.bytes(app_snapshot);
+    w.u32(static_cast<std::uint32_t>(suffix.size()));
+    for (const auto& [seq, req] : suffix) {
+        w.u64(seq);
+        w.bytes(req.encode());
+    }
+    return w.take();
+}
+
+Result<RecoveryState> RecoveryState::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        RecoveryState st;
+        st.view = r.u64();
+        st.snapshot_watermark = r.u64();
+        st.last_delivered = r.u64();
+        if (st.snapshot_watermark > st.last_delivered) {
+            return Result<RecoveryState>::err("watermark past last_delivered");
+        }
+        st.app_snapshot = r.bytes();
+        const auto count = r.u32();
+        // The suffix spans one checkpoint window of committed requests;
+        // anything past this bound is a corrupt frame.
+        if (count > 65536) return Result<RecoveryState>::err("implausible suffix count");
+        if (count != st.last_delivered - st.snapshot_watermark) {
+            return Result<RecoveryState>::err("suffix count does not cover (S, W]");
+        }
+        st.suffix.reserve(count);
+        std::uint64_t expect = st.snapshot_watermark + 1;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const auto seq = r.u64();
+            if (seq != expect) return Result<RecoveryState>::err("non-contiguous suffix");
+            ++expect;
+            auto req = ClientRequest::decode(r.bytes());
+            if (!req.has_value()) {
+                return Result<RecoveryState>::err("bad suffix request: " + req.error().message);
+            }
+            st.suffix.emplace_back(seq, std::move(req).value());
+        }
+        if (!r.done()) return Result<RecoveryState>::err("trailing bytes in RecoveryState");
+        return st;
+    } catch (const std::out_of_range&) {
+        return Result<RecoveryState>::err("truncated RecoveryState");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Replica
 // ---------------------------------------------------------------------------
 
 PbftReplica::PbftReplica(PbftConfig config) : cfg_(std::move(config)) {
     ensure(cfg_.n >= 4, "PBFT baseline needs n >= 4 (3f+1 with f >= 1)");
+    app_ = app::KvStore(cfg_.checkpoint_interval);
 }
 
 Duration PbftReplica::processing_cost(const std::string& operation, const Bytes& body) const {
@@ -122,11 +183,14 @@ std::vector<fs::Outbound> PbftReplica::process(const std::string& operation, con
             ByteReader r(body);
             on_timeout(r.u64(), out);
         }
+    } else if (operation == "recover") {
+        begin_recovery(out);
     }
     return out;
 }
 
 void PbftReplica::on_request(const ClientRequest& request, Out& out) {
+    if (recovering_) return;  // no ordering duties until the snapshot lands
     if (!seen_requests_.insert({request.origin, request.origin_seq}).second) return;
     if (is_primary()) {
         assign_and_prepreprepare(request, out);
@@ -161,6 +225,7 @@ void PbftReplica::assign_and_prepreprepare(const ClientRequest& request, Out& ou
     broadcast(pp, out);
 
     Slot& slot = slots_[seq];
+    note_log_occupancy();
     slot.pre_prepared = true;
     slot.request = request;
     slot.digest = pp.digest;
@@ -169,6 +234,9 @@ void PbftReplica::assign_and_prepreprepare(const ClientRequest& request, Out& ou
 }
 
 void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
+    // A recovering replica holds no usable log: everything except the state
+    // transfer it asked for is noise until the snapshot lands.
+    if (recovering_ && msg.kind != PbftKind::kStateReply) return;
     switch (msg.kind) {
         case PbftKind::kPrePrepare: {
             if (msg.sender != primary()) {
@@ -184,12 +252,16 @@ void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
                 return;
             }
             if (msg.view != view_) return;
+            // Below the stable checkpoint the slot is truncated history;
+            // re-creating it would unbound the log again.
+            if (msg.seq <= stable_checkpoint_) return;
             // A primary pre-prepare carrying the ordered unit = the span's
             // receive stage (prepare/commit rounds are protocol-internal).
             if (cfg_.obs != nullptr) {
                 cfg_.obs->span(obs::Stage::kReceive, msg.request.payload, cfg_.obs_member);
             }
             Slot& slot = slots_[msg.seq];
+            note_log_occupancy();
             if (slot.pre_prepared && slot.digest != msg.digest) return;  // equivocation
             slot.pre_prepared = true;
             slot.request = msg.request;
@@ -209,7 +281,9 @@ void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
         }
         case PbftKind::kPrepare: {
             if (msg.view != view_) return;
+            if (msg.seq <= stable_checkpoint_) return;
             Slot& slot = slots_[msg.seq];
+            note_log_occupancy();
             if (slot.pre_prepared && slot.digest != msg.digest) return;
             slot.prepares.insert(msg.sender);
             maybe_prepare(msg.seq, out);
@@ -217,7 +291,9 @@ void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
         }
         case PbftKind::kCommit: {
             if (msg.view != view_) return;
+            if (msg.seq <= stable_checkpoint_) return;
             Slot& slot = slots_[msg.seq];
+            note_log_occupancy();
             slot.commits.insert(msg.sender);
             maybe_commit(msg.seq, out);
             break;
@@ -272,11 +348,24 @@ void PbftReplica::on_pbft(const PbftMessage& msg, Out& out) {
             }
             break;
         }
+        case PbftKind::kCheckpoint: {
+            on_checkpoint(msg, out);
+            break;
+        }
+        case PbftKind::kStateRequest: {
+            serve_state(msg.sender, out);
+            break;
+        }
+        case PbftKind::kStateReply: {
+            on_state_reply(msg, out);
+            break;
+        }
     }
 }
 
 void PbftReplica::on_timeout(std::uint64_t view, Out& out) {
     // Liveness dependence: progress stalls until this timeout elects view+1.
+    if (recovering_) return;
     if (view != view_) return;  // stale timer
     if (next_deliver_ >= next_assign_ && pending_.empty()) return;  // no work stuck
     PbftMessage vc;
@@ -321,6 +410,7 @@ void PbftReplica::try_deliver(Out& out) {
         if (!slot.delivered) {
             slot.delivered = true;
             deliver(next_deliver_, slot.request, out);
+            maybe_checkpoint(next_deliver_, out);
         }
         ++next_deliver_;
     }
@@ -328,6 +418,7 @@ void PbftReplica::try_deliver(Out& out) {
 
 void PbftReplica::deliver(std::uint64_t seq, const ClientRequest& request, Out& out) {
     ++delivered_count_;
+    app_.apply(request.payload);
     if (cfg_.obs != nullptr) {
         cfg_.obs->span(obs::Stage::kOrdered, request.payload, cfg_.obs_member);
     }
@@ -339,6 +430,150 @@ void PbftReplica::deliver(std::uint64_t seq, const ClientRequest& request, Out& 
     d.seq = seq;
     d.request = request;
     out.emplace_back(cfg_.delivery, "deliver", d.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing, log truncation and state-transfer recovery
+// ---------------------------------------------------------------------------
+
+void PbftReplica::note_log_occupancy() {
+    if (slots_.size() > log_slots_retained_) log_slots_retained_ = slots_.size();
+}
+
+void PbftReplica::maybe_checkpoint(std::uint64_t seq, Out& out) {
+    if (cfg_.checkpoint_interval == 0 || seq % cfg_.checkpoint_interval != 0) return;
+    // Snapshot the app at this delivery watermark and seek a quorum on its
+    // digest; the snapshot is retained locally until the watermark turns
+    // stable (or a later one supersedes it).
+    ByteWriter dw;
+    dw.u64(app_.digest());
+    Bytes digest = dw.take();
+    checkpoint_snapshots_[seq] = app_.snapshot();
+    ++checkpoints_taken_;
+
+    PbftMessage cp;
+    cp.kind = PbftKind::kCheckpoint;
+    cp.sender = cfg_.self;
+    cp.view = view_;
+    cp.seq = seq;
+    cp.digest = digest;
+    broadcast(cp, out);
+    checkpoint_votes_[{seq, digest}].insert(cfg_.self);
+    maybe_stabilize(seq, digest);
+}
+
+void PbftReplica::on_checkpoint(const PbftMessage& msg, Out& out) {
+    (void)out;
+    if (msg.seq <= stable_checkpoint_) return;
+    checkpoint_votes_[{msg.seq, msg.digest}].insert(msg.sender);
+    maybe_stabilize(msg.seq, msg.digest);
+}
+
+void PbftReplica::maybe_stabilize(std::uint64_t seq, const Bytes& digest) {
+    const auto votes = checkpoint_votes_.find({seq, digest});
+    if (votes == checkpoint_votes_.end() || votes->second.size() < 2 * f() + 1) return;
+    // Truncation is only safe once *this* replica has delivered through seq
+    // and holds the matching snapshot; a lagging replica re-checks when its
+    // own checkpoint at seq forms.
+    if (!votes->second.contains(cfg_.self)) return;
+    const auto snap = checkpoint_snapshots_.find(seq);
+    if (snap == checkpoint_snapshots_.end()) return;
+    stable_checkpoint_ = seq;
+    stable_snapshot_ = snap->second;
+    // The fix for the unbounded ordered log: drop every slot at or below the
+    // stable watermark — its effect lives on in the stable snapshot.
+    const auto first_kept = slots_.upper_bound(seq);
+    log_slots_truncated_ +=
+        static_cast<std::uint64_t>(std::distance(slots_.begin(), first_kept));
+    slots_.erase(slots_.begin(), first_kept);
+    checkpoint_snapshots_.erase(checkpoint_snapshots_.begin(),
+                                checkpoint_snapshots_.upper_bound(seq));
+    for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
+        it = it->first.first <= seq ? checkpoint_votes_.erase(it) : std::next(it);
+    }
+}
+
+void PbftReplica::begin_recovery(Out& out) {
+    // A recovering replica's log, backlog and app state are untrusted: wipe
+    // them and rebuild from a peer's stable snapshot + committed suffix.
+    recovering_ = true;
+    slots_.clear();
+    pending_.clear();
+    seen_requests_.clear();
+    view_change_votes_.clear();
+    checkpoint_snapshots_.clear();
+    checkpoint_votes_.clear();
+    stable_checkpoint_ = 0;
+    stable_snapshot_.clear();
+    next_assign_ = 1;
+    next_deliver_ = 1;
+    app_ = app::KvStore(cfg_.checkpoint_interval);
+    if (cfg_.obs != nullptr) {
+        cfg_.obs->note(cfg_.obs_member, "pbft replica requests state transfer");
+    }
+    PbftMessage req;
+    req.kind = PbftKind::kStateRequest;
+    req.sender = cfg_.self;
+    req.view = view_;
+    broadcast(req, out);
+}
+
+void PbftReplica::serve_state(ReplicaId requester, Out& out) {
+    if (requester == cfg_.self) return;
+    RecoveryState st;
+    st.view = view_;
+    st.snapshot_watermark = stable_checkpoint_;
+    st.last_delivered = next_deliver_ - 1;
+    if (stable_checkpoint_ != 0) st.app_snapshot = stable_snapshot_;
+    for (std::uint64_t seq = stable_checkpoint_ + 1; seq < next_deliver_; ++seq) {
+        const auto it = slots_.find(seq);
+        if (it == slots_.end() || !it->second.delivered) return;  // gap: cannot serve
+        st.suffix.emplace_back(seq, it->second.request);
+    }
+    ++state_transfers_served_;
+    PbftMessage reply;
+    reply.kind = PbftKind::kStateReply;
+    reply.sender = cfg_.self;
+    reply.view = view_;
+    reply.seq = st.last_delivered;
+    reply.request.origin = cfg_.self;
+    reply.request.payload = st.encode();
+    send_to(requester, reply, out);
+}
+
+void PbftReplica::on_state_reply(const PbftMessage& msg, Out& out) {
+    if (!recovering_) return;  // first valid reply wins
+    auto decoded = RecoveryState::decode(msg.request.payload);
+    if (!decoded.has_value()) return;
+    const RecoveryState& st = decoded.value();
+    app::KvStore restored(cfg_.checkpoint_interval);
+    if (st.snapshot_watermark != 0 && !restored.restore(st.app_snapshot).has_value()) {
+        return;  // corrupt snapshot: wait for another peer's reply
+    }
+    // Tell the delivery sink where the replayed stream restarts BEFORE any
+    // replayed delivery reaches it: it resets its re-sequencer to S+1.
+    ByteWriter w;
+    w.u64(st.snapshot_watermark);
+    out.emplace_back(cfg_.delivery, "recovered", w.take());
+
+    app_ = std::move(restored);
+    stable_checkpoint_ = st.snapshot_watermark;
+    stable_snapshot_ = st.app_snapshot;
+    view_ = std::max(view_, st.view);
+    next_deliver_ = st.snapshot_watermark + 1;
+    recovering_ = false;
+    for (const auto& [seq, req] : st.suffix) {
+        seen_requests_.insert({req.origin, req.origin_seq});
+        deliver(seq, req, out);
+        next_deliver_ = seq + 1;
+        maybe_checkpoint(seq, out);
+    }
+    next_assign_ = std::max(next_assign_, next_deliver_);
+    ++recoveries_completed_;
+    if (cfg_.obs != nullptr) {
+        cfg_.obs->note(cfg_.obs_member,
+                       "pbft replica rejoined at seq " + std::to_string(next_deliver_ - 1));
+    }
 }
 
 void PbftReplica::broadcast(const PbftMessage& msg, Out& out) {

@@ -19,7 +19,9 @@
 
 #include <map>
 #include <set>
+#include <utility>
 
+#include "app/kv_store.hpp"
 #include "fs/service.hpp"
 #include "obs/obs.hpp"
 #include "orb/request.hpp"
@@ -34,6 +36,9 @@ enum class PbftKind : std::uint8_t {
     kCommit = 3,
     kViewChange = 4,
     kNewView = 5,
+    kCheckpoint = 6,    ///< replica took a checkpoint at seq (digest = app digest)
+    kStateRequest = 7,  ///< recovering replica asks peers for a RecoveryState
+    kStateReply = 8,    ///< RecoveryState carried in request.payload
 };
 
 struct ClientRequest {
@@ -72,6 +77,30 @@ struct PbftConfig {
     obs::Obs* obs{nullptr};
     /// Member label for this replica's flight-recorder events.
     int obs_member{-1};
+    /// Take an application checkpoint every this many delivered requests and
+    /// truncate `slots_` at the stable watermark; 0 = off (the pre-existing
+    /// unbounded-log behavior, byte-identical on the wire).
+    std::uint64_t checkpoint_interval{0};
+};
+
+/// Everything a recovering replica needs to catch up: the latest stable
+/// application snapshot plus the committed suffix above its watermark.
+/// Carried in a kStateReply's request.payload.
+struct RecoveryState {
+    std::uint64_t view{0};
+    /// Stable checkpoint watermark S (0 = no checkpoint yet; snapshot empty).
+    std::uint64_t snapshot_watermark{0};
+    /// Highest delivered sequence W at the serving replica.
+    std::uint64_t last_delivered{0};
+    /// app::KvStore snapshot at S (empty when S == 0).
+    Bytes app_snapshot;
+    /// Committed requests for (S, W], ascending by sequence.
+    std::vector<std::pair<std::uint64_t, ClientRequest>> suffix;
+
+    [[nodiscard]] std::size_t wire_size() const;
+    [[nodiscard]] Bytes encode() const;
+    static Result<RecoveryState> decode(std::span<const std::uint8_t> data);
+    friend bool operator==(const RecoveryState&, const RecoveryState&) = default;
 };
 
 /// What a replica hands to the application on commit.
@@ -99,6 +128,22 @@ public:
     [[nodiscard]] std::uint32_t f() const { return (cfg_.n - 1) / 3; }
     [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
 
+    /// Replicated application state (driven by the delivery path).
+    [[nodiscard]] const app::KvStore& app() const { return app_; }
+    /// Stable checkpoint watermark (sequences <= this are truncated).
+    [[nodiscard]] std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
+    /// Current ordered-log occupancy.
+    [[nodiscard]] std::size_t slots_live() const { return slots_.size(); }
+    /// High-water mark of `slots_` occupancy — the boundedness witness: with
+    /// checkpointing on, sustained load keeps this under a small multiple of
+    /// the checkpoint interval instead of growing with the run.
+    [[nodiscard]] std::uint64_t log_slots_retained() const { return log_slots_retained_; }
+    [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+    [[nodiscard]] std::uint64_t log_slots_truncated() const { return log_slots_truncated_; }
+    [[nodiscard]] std::uint64_t state_transfers_served() const { return state_transfers_served_; }
+    [[nodiscard]] std::uint64_t recoveries_completed() const { return recoveries_completed_; }
+    [[nodiscard]] bool recovering() const { return recovering_; }
+
 private:
     using Out = std::vector<fs::Outbound>;
 
@@ -115,6 +160,13 @@ private:
     void on_request(const ClientRequest& request, Out& out);
     void on_pbft(const PbftMessage& msg, Out& out);
     void on_timeout(std::uint64_t view, Out& out);
+    void maybe_checkpoint(std::uint64_t seq, Out& out);
+    void on_checkpoint(const PbftMessage& msg, Out& out);
+    void maybe_stabilize(std::uint64_t seq, const Bytes& digest);
+    void begin_recovery(Out& out);
+    void serve_state(ReplicaId requester, Out& out);
+    void on_state_reply(const PbftMessage& msg, Out& out);
+    void note_log_occupancy();
     void assign_and_prepreprepare(const ClientRequest& request, Out& out);
     void maybe_prepare(std::uint64_t seq, Out& out);
     void maybe_commit(std::uint64_t seq, Out& out);
@@ -133,6 +185,22 @@ private:
     std::map<std::uint64_t, std::set<ReplicaId>> view_change_votes_;
     std::uint64_t delivered_count_{0};
     std::uint64_t view_changes_{0};
+
+    // --- checkpoint / recovery state ---------------------------------------
+    app::KvStore app_;
+    std::uint64_t stable_checkpoint_{0};
+    Bytes stable_snapshot_;
+    /// Local snapshots awaiting stability, keyed by checkpoint seq.
+    std::map<std::uint64_t, Bytes> checkpoint_snapshots_;
+    /// Votes per (checkpoint seq, app digest) — digest-binding keeps a
+    /// diverged replica from stabilizing the wrong state.
+    std::map<std::pair<std::uint64_t, Bytes>, std::set<ReplicaId>> checkpoint_votes_;
+    bool recovering_{false};
+    std::uint64_t checkpoints_taken_{0};
+    std::uint64_t log_slots_truncated_{0};
+    std::uint64_t log_slots_retained_{0};
+    std::uint64_t state_transfers_served_{0};
+    std::uint64_t recoveries_completed_{0};
 };
 
 }  // namespace failsig::baseline

@@ -48,6 +48,28 @@ void Deployment::crash(int member) {
     }
 }
 
+void Deployment::recover(int member) {
+    // Sim backends share one event loop, so the rejoin sequence can run
+    // inline: heal the links first, then the stack's node-affine steps in
+    // order (state resets before the join request).
+    recover_links(member);
+    for (auto& step : recover_steps(member)) {
+        if (step.fn) step.fn();
+    }
+}
+
+void Deployment::recover_links(int member) {
+    // Exact inverse of the default crash(): unblock both directions of every
+    // pair the crash blocked.
+    const std::vector<NodeId> mine = nodes_of(member);
+    for (int other = 0; other < group_size(); ++other) {
+        if (other == member) continue;
+        for (const NodeId theirs : nodes_of(other)) {
+            for (const NodeId node : mine) faults().unblock(node, theirs);
+        }
+    }
+}
+
 bool Deployment::inject_fault(const FaultInjection&) { return false; }
 
 std::optional<NodeId> Deployment::fault_home(const FaultInjection&) const {

@@ -11,6 +11,7 @@
 // factory; no engine edits.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -77,6 +78,11 @@ struct DeploymentSpec {
     /// External runtime environment forwarded into the stack (the TCP
     /// wrapper fills this; external callers leave it default).
     net::RuntimeEnv env{};
+    /// Application checkpoint cadence (delivered requests between
+    /// checkpoints). Enables PBFT log truncation and gives rejoin grants a
+    /// checkpoint history to ship; 0 = off (pre-existing behavior,
+    /// byte-identical wire).
+    std::uint64_t checkpoint_interval{0};
 };
 
 /// Application-level observers a caller attaches before the run. Deployments
@@ -101,6 +107,50 @@ struct FaultInjection {
     /// Target the pair's leader wrapper object (else the follower).
     bool at_leader{true};
     fs::FaultPlan plan{};
+};
+
+/// One node-affine action of a member's rejoin sequence. The sim backend
+/// runs the steps inline (one event loop); the TCP backend posts each onto
+/// its node's executor and waits, preserving the sequence across threads.
+struct RecoveryStep {
+    NodeId node{0};
+    std::function<void()> fn;
+};
+
+/// Deterministic recovery counters aggregated over the whole deployment
+/// (bench-gated; never wall-clock).
+struct RecoveryStats {
+    std::uint64_t checkpoints_taken{0};
+    std::uint64_t log_slots_truncated{0};
+    /// High-water mark of PBFT's ordered-log occupancy (0 for other stacks).
+    std::uint64_t log_slots_retained{0};
+    std::uint64_t state_transfers_served{0};
+    std::uint64_t rejoins_completed{0};
+    /// NewTOP retained-log cap evictions (flush patch-up source).
+    std::uint64_t flush_log_evictions{0};
+    /// Flush merges that needed an entry the cap had evicted (soundness
+    /// violation witness; expected 0).
+    std::uint64_t flush_eviction_gaps{0};
+
+    RecoveryStats& operator+=(const RecoveryStats& other) {
+        checkpoints_taken += other.checkpoints_taken;
+        log_slots_truncated += other.log_slots_truncated;
+        log_slots_retained = std::max(log_slots_retained, other.log_slots_retained);
+        state_transfers_served += other.state_transfers_served;
+        rejoins_completed += other.rejoins_completed;
+        flush_log_evictions += other.flush_log_evictions;
+        flush_eviction_gaps += other.flush_eviction_gaps;
+        return *this;
+    }
+};
+
+/// Snapshot of one member's replicated application state, read at
+/// quiescence (the scenario checkers compare these across members).
+struct AppStateInfo {
+    std::uint64_t applied{0};
+    std::uint64_t digest{0};
+    /// KvStore::state_string() — "applied=N digest=HEX checkpoints=...".
+    std::string detail;
 };
 
 class Deployment {
@@ -177,6 +227,32 @@ public:
     /// for FS-NewTOP's collocated placement, where a host is shared between
     /// two pairs and a host fault would sever healthy pairs.
     [[nodiscard]] virtual bool supports_host_faults() const;
+
+    // --- recovery ---------------------------------------------------------
+    /// Brings a crashed/excluded member back: heal its links (the inverse of
+    /// the default crash()) and run the stack's rejoin steps. Default:
+    /// recover_links() then each recover_steps() entry inline (single event
+    /// loop). The TCP backend overrides this to revive the member's executor
+    /// and post each step onto its owning node.
+    virtual void recover(int member);
+    /// Undoes the link isolation the default crash() applied. Stacks whose
+    /// crash() is not link-based (FS pair-link severing) override this.
+    virtual void recover_links(int member);
+    /// The stack's node-affine rejoin sequence for `member` (state resets,
+    /// suspector forgiveness, the join request). Empty = stack has no rejoin
+    /// path; recover() then only heals links.
+    [[nodiscard]] virtual std::vector<RecoveryStep> recover_steps(int member) {
+        (void)member;
+        return {};
+    }
+    /// Member's replicated app state at quiescence (nullopt = stack carries
+    /// no app layer, or the member is still down).
+    [[nodiscard]] virtual std::optional<AppStateInfo> app_state_of(int member) {
+        (void)member;
+        return std::nullopt;
+    }
+    /// Aggregated checkpoint/recovery counters.
+    [[nodiscard]] virtual RecoveryStats recovery_stats() const { return {}; }
 
     // --- deterministic counters ------------------------------------------
     /// Aggregated batching-pipeline counters (zero when batching is off or

@@ -12,6 +12,7 @@ fsnewtop::FsNewTopOptions FsNewTopDeployment::make_options(const DeploymentSpec&
     opts.batch = spec.batch;
     opts.obs = spec.obs;
     opts.env = spec.env;
+    opts.checkpoint_interval = spec.checkpoint_interval;
     return opts;
 }
 
@@ -62,6 +63,60 @@ void FsNewTopDeployment::submit(int member, Bytes payload) {
 
 void FsNewTopDeployment::crash(int member) {
     inner_.faults().block(inner_.leader_node_of(member), inner_.follower_node_of(member));
+}
+
+void FsNewTopDeployment::recover_links(int member) {
+    inner_.faults().unblock(inner_.leader_node_of(member), inner_.follower_node_of(member));
+}
+
+std::vector<RecoveryStep> FsNewTopDeployment::recover_steps(int member) {
+    // Severing the pair link desynchronizes the wrapper objects: the leader
+    // keeps ordering/executing while the follower starves, so their order
+    // sequences diverge and both latch fail-signalling. Recovery re-bases
+    // BOTH wrapper objects at the max of their order positions (so the first
+    // post-recovery input gets the same sequence at both, and previously
+    // transmitted (seq, out_index) output ids are never reused — receiver
+    // dedup stays sound), then wipes the replicated GC through the ordinary
+    // deterministic input path: "__rejoin" executes identically in both
+    // replicas, so their outputs match and the pair self-check resumes.
+    auto base = std::make_shared<std::uint64_t>(1);
+    std::vector<RecoveryStep> steps;
+    steps.push_back({inner_.leader_node_of(member), [this, member, base] {
+                         *base = std::max(*base, inner_.leader_fso(member).next_seq());
+                     }});
+    steps.push_back({inner_.follower_node_of(member), [this, member, base] {
+                         *base = std::max(*base, inner_.follower_fso(member).next_seq());
+                     }});
+    steps.push_back({inner_.leader_node_of(member), [this, member, base] {
+                         inner_.leader_fso(member).reset_for_recovery(*base);
+                     }});
+    steps.push_back({inner_.follower_node_of(member), [this, member, base] {
+                         inner_.follower_fso(member).reset_for_recovery(*base);
+                     }});
+    steps.push_back({inner_.app_node_of(member), [this, member] {
+                         inner_.invocation(member).prepare_rejoin();
+                         inner_.invocation(member).send_control("__rejoin", Bytes{});
+                     }});
+    return steps;
+}
+
+std::optional<AppStateInfo> FsNewTopDeployment::app_state_of(int member) {
+    // The pair's replicas hold identical app state by construction; read the
+    // leader's copy.
+    const auto& app = inner_.gc_leader(member).app();
+    return AppStateInfo{app.applied(), app.digest(), app.state_string()};
+}
+
+RecoveryStats FsNewTopDeployment::recovery_stats() const {
+    RecoveryStats stats;
+    for (int i = 0; i < inner_.group_size(); ++i) {
+        const auto& gc = inner_.gc_leader(i);
+        stats.checkpoints_taken += gc.app().checkpoints_taken();
+        stats.rejoins_completed += gc.rejoins_completed();
+        stats.flush_log_evictions += gc.flush_log_evictions();
+        stats.flush_eviction_gaps += gc.flush_eviction_gaps();
+    }
+    return stats;
 }
 
 bool FsNewTopDeployment::inject_fault(const FaultInjection& fault) {

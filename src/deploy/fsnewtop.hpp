@@ -26,6 +26,12 @@ public:
     /// can no longer self-check and announces its own failure — no timeout
     /// guessing at the other members.
     void crash(int member) override;
+    /// Inverse of crash(): restore the pair link (the wrapper-object reset
+    /// and the GC-level rejoin ride in recover_steps()).
+    void recover_links(int member) override;
+    std::vector<RecoveryStep> recover_steps(int member) override;
+    [[nodiscard]] std::optional<AppStateInfo> app_state_of(int member) override;
+    [[nodiscard]] RecoveryStats recovery_stats() const override;
     bool inject_fault(const FaultInjection& fault) override;
     [[nodiscard]] std::optional<NodeId> fault_home(const FaultInjection& fault) const override {
         return fault.at_leader ? inner_.leader_node_of(fault.member)

@@ -12,6 +12,7 @@ newtop::NewTopOptions NewTopDeployment::make_options(const DeploymentSpec& spec)
     opts.batch = spec.batch;
     opts.obs = spec.obs;
     opts.env = spec.env;
+    opts.checkpoint_interval = spec.checkpoint_interval;
     return opts;
 }
 
@@ -39,6 +40,46 @@ void NewTopDeployment::attach(Observers observers) {
 
 void NewTopDeployment::submit(int member, Bytes payload) {
     inner_.invocation(member).multicast(service_, std::move(payload));
+}
+
+std::vector<RecoveryStep> NewTopDeployment::recover_steps(int member) {
+    std::vector<RecoveryStep> steps;
+    // Survivors first: forgive the rejoiner in their ping suspectors, so the
+    // join request is not raced by a fresh (false) suspicion of a member
+    // whose last_heard_ timestamp predates its crash.
+    for (int s = 0; s < inner_.group_size(); ++s) {
+        if (s == member) continue;
+        steps.push_back({inner_.node_of(s), [this, s, member] {
+                             inner_.suspector(s).forgive(
+                                 static_cast<newtop::MemberId>(member));
+                         }});
+    }
+    // Then the rejoiner: clean suspector slate, re-armed delivery
+    // resequencer, and the GC-level "__rejoin" that wipes state and asks the
+    // survivors for readmission.
+    steps.push_back({inner_.node_of(member), [this, member] {
+                         inner_.suspector(member).forgive_all();
+                         inner_.invocation(member).prepare_rejoin();
+                         inner_.gc_servant(member).submit_local("__rejoin", Bytes{});
+                     }});
+    return steps;
+}
+
+std::optional<AppStateInfo> NewTopDeployment::app_state_of(int member) {
+    const auto& app = inner_.gc(member).app();
+    return AppStateInfo{app.applied(), app.digest(), app.state_string()};
+}
+
+RecoveryStats NewTopDeployment::recovery_stats() const {
+    RecoveryStats stats;
+    for (int i = 0; i < inner_.group_size(); ++i) {
+        const auto& gc = inner_.gc(i);
+        stats.checkpoints_taken += gc.app().checkpoints_taken();
+        stats.rejoins_completed += gc.rejoins_completed();
+        stats.flush_log_evictions += gc.flush_log_evictions();
+        stats.flush_eviction_gaps += gc.flush_eviction_gaps();
+    }
+    return stats;
 }
 
 }  // namespace failsig::deploy

@@ -24,6 +24,10 @@ public:
     void stop_perpetual_member(int member) override { inner_.stop_suspector(member); }
     [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
 
+    std::vector<RecoveryStep> recover_steps(int member) override;
+    [[nodiscard]] std::optional<AppStateInfo> app_state_of(int member) override;
+    [[nodiscard]] RecoveryStats recovery_stats() const override;
+
 private:
     static newtop::NewTopOptions make_options(const DeploymentSpec& spec);
 

@@ -10,6 +10,7 @@ baseline::PbftOptions PbftDeployment::make_options(const DeploymentSpec& spec) {
     opts.batch = spec.batch;
     opts.obs = spec.obs;
     opts.env = spec.env;
+    opts.checkpoint_interval = spec.checkpoint_interval;
     return opts;
 }
 
@@ -33,6 +34,34 @@ void PbftDeployment::submit(int member, Bytes payload) {
 
 void PbftDeployment::fire_timeouts_member(int member) {
     inner_.fire_timeouts(static_cast<baseline::ReplicaId>(member));
+}
+
+std::vector<RecoveryStep> PbftDeployment::recover_steps(int member) {
+    // The replica restarts with an empty log and pulls a stable checkpoint
+    // plus the committed suffix from its peers; everything runs through the
+    // servant's ordinary input path, so no link surgery is needed beyond the
+    // default unblock.
+    return {{inner_.node_of(static_cast<baseline::ReplicaId>(member)), [this, member] {
+                 inner_.begin_recovery(static_cast<baseline::ReplicaId>(member));
+             }}};
+}
+
+std::optional<AppStateInfo> PbftDeployment::app_state_of(int member) {
+    const auto& app = inner_.replica(static_cast<baseline::ReplicaId>(member)).app();
+    return AppStateInfo{app.applied(), app.digest(), app.state_string()};
+}
+
+RecoveryStats PbftDeployment::recovery_stats() const {
+    RecoveryStats stats;
+    for (baseline::ReplicaId r = 0; r < inner_.replica_count(); ++r) {
+        const auto& rep = inner_.replica(r);
+        stats.checkpoints_taken += rep.checkpoints_taken();
+        stats.log_slots_truncated += rep.log_slots_truncated();
+        stats.log_slots_retained = std::max(stats.log_slots_retained, rep.log_slots_retained());
+        stats.state_transfers_served += rep.state_transfers_served();
+        stats.rejoins_completed += rep.recoveries_completed();
+    }
+    return stats;
 }
 
 }  // namespace failsig::deploy

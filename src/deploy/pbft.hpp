@@ -29,6 +29,10 @@ public:
     void fire_timeouts_member(int member) override;
     [[nodiscard]] BatchStats batch_stats() const override { return inner_.batch_stats(); }
 
+    std::vector<RecoveryStep> recover_steps(int member) override;
+    [[nodiscard]] std::optional<AppStateInfo> app_state_of(int member) override;
+    [[nodiscard]] RecoveryStats recovery_stats() const override;
+
 private:
     static baseline::PbftOptions make_options(const DeploymentSpec& spec);
 

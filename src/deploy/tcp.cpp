@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <set>
 #include <utility>
 
@@ -264,6 +265,93 @@ void TcpDeployment::crash(int member) {
         }
     }
     board_cv_.notify_all();
+}
+
+void TcpDeployment::recover(int member) {
+    // Mirror of crash(): members with dedicated hosts get their frames
+    // re-admitted and their executor threads respawned; shared-host members
+    // (FS-NewTOP) delegate link healing to the wrapped stack.
+    const std::vector<NodeId> mine = inner_->nodes_of(member);
+    std::set<std::uint32_t> others;
+    for (int other = 0; other < inner_->group_size(); ++other) {
+        if (other == member) continue;
+        for (const NodeId node : inner_->nodes_of(other)) others.insert(node.value);
+    }
+    const bool exclusive = std::none_of(mine.begin(), mine.end(), [&](NodeId node) {
+        return others.contains(node.value);
+    });
+    if (exclusive) {
+        for (const NodeId node : mine) transport_->restore(node);
+        // The crashed executors' threads have exited their loops; join them
+        // outside the hub mutex, then reset and respawn.
+        std::vector<std::thread> dead;
+        {
+            const std::lock_guard lock(mu_);
+            for (const NodeId node : mine) {
+                NodeExecutor* ex = find_executor(node);
+                if (ex == nullptr || !ex->stopped) continue;
+                if (ex->thread.joinable()) dead.push_back(std::move(ex->thread));
+            }
+        }
+        for (auto& t : dead) t.join();
+        {
+            const std::lock_guard lock(mu_);
+            for (const NodeId node : mine) {
+                NodeExecutor* ex = find_executor(node);
+                if (ex == nullptr || !ex->stopped) continue;
+                ex->stopped = false;
+                ex->idle = true;
+                ex->inbox.clear();
+                ex->next_due = ex->sim.next_due();
+                if (threads_started_) {
+                    NodeExecutor* ptr = ex;
+                    ex->thread = std::thread([this, ptr] { executor_loop(*ptr); });
+                }
+            }
+        }
+        board_cv_.notify_all();
+    }
+    inner_->recover_links(member);
+    // The rejoin sequence is node-affine and ordered: run each step on its
+    // owning node's executor and wait before the next (replica resets must
+    // land before the join request goes out).
+    for (auto& step : inner_->recover_steps(member)) {
+        run_on_node(step.node, std::move(step.fn));
+    }
+}
+
+bool TcpDeployment::run_on_node(NodeId node, std::function<void()> fn) {
+    {
+        const std::lock_guard lock(mu_);
+        if (!threads_started_) {
+            // Single-threaded still: the executor's loop is not running, so
+            // inline execution is the same serialization.
+            if (fn) fn();
+            return true;
+        }
+        NodeExecutor* ex = find_executor(node);
+        if (ex == nullptr || ex->stopped || shutdown_) return false;
+    }
+    std::promise<void> done;
+    auto finished = done.get_future();
+    post(node, [fn = std::move(fn), &done] {
+        if (fn) fn();
+        done.set_value();
+    });
+    finished.wait();
+    return true;
+}
+
+std::optional<AppStateInfo> TcpDeployment::app_state_of(int member) {
+    const std::vector<NodeId> nodes = inner_->nodes_of(member);
+    if (nodes.empty()) return std::nullopt;
+    std::optional<AppStateInfo> info;
+    if (!run_on_node(nodes.front(), [this, member, &info] {
+            info = inner_->app_state_of(member);
+        })) {
+        return std::nullopt;  // member is down
+    }
+    return info;
 }
 
 bool TcpDeployment::inject_fault(const FaultInjection& fault) {

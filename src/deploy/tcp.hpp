@@ -71,6 +71,7 @@ public:
 
     // --- fault hooks ------------------------------------------------------
     void crash(int member) override;
+    void recover(int member) override;
     bool inject_fault(const FaultInjection& fault) override;
     [[nodiscard]] bool has_liveness_timeouts() const override {
         return inner_->has_liveness_timeouts();
@@ -79,6 +80,14 @@ public:
     void stop_perpetual() override;
     [[nodiscard]] bool supports_host_faults() const override {
         return inner_->supports_host_faults();
+    }
+
+    // --- recovery ---------------------------------------------------------
+    /// Reads are posted onto the member's executor (quiescence-safe); a
+    /// still-crashed member reports nullopt.
+    [[nodiscard]] std::optional<AppStateInfo> app_state_of(int member) override;
+    [[nodiscard]] RecoveryStats recovery_stats() const override {
+        return inner_->recovery_stats();
     }
 
     // --- deterministic counters ------------------------------------------
@@ -115,6 +124,9 @@ private:
     void post_at(NodeId node, TimePoint at, std::function<void()> task);
     void executor_loop(NodeExecutor& ex);
     void start_threads();
+    /// Runs `fn` on the node's executor and waits for it (inline before the
+    /// threads exist). Returns false if the node's executor is stopped.
+    bool run_on_node(NodeId node, std::function<void()> fn);
     /// All executors parked with empty inboxes and no frame in flight.
     [[nodiscard]] bool quiescent_locked() const;
     /// Earliest pending virtual-time event across executors + driver.

@@ -25,6 +25,7 @@ enum class Draw : std::uint8_t {
     kBurst,
     kLoad,
     kPbftTimeouts,
+    kChurn,
 };
 
 std::vector<Draw> allowed_draws(const FaultGrammar& g, SystemKind system, int n,
@@ -53,6 +54,12 @@ std::vector<Draw> allowed_draws(const FaultGrammar& g, SystemKind system, int n,
     if (g.bursts && n > 0 && dense_traffic_ok) draws.push_back(Draw::kBurst);
     if (g.loads && dense_traffic_ok) draws.push_back(Draw::kLoad);
     if (g.pbft_timeouts && system == SystemKind::kPbft) draws.push_back(Draw::kPbftTimeouts);
+    if (g.churn && member_fault_ok &&
+        (system != SystemKind::kNewTop || g.newtop_suspectors)) {
+        // A member must actually be excluded before it can rejoin; plain
+        // NewTOP only excludes when timeout suspectors run.
+        draws.push_back(Draw::kChurn);
+    }
     return draws;
 }
 
@@ -141,11 +148,18 @@ Scenario generate_episode(const ExploreConfig& config, SystemKind system, int n,
         s.suspector.ping_interval = 50 * kMillisecond;
         s.suspector.suspect_timeout = 300 * kMillisecond;
     }
+    if (config.grammar.churn) {
+        // Churn campaigns run the replicated app with periodic checkpoints so
+        // a drawn crash -> recover arc exercises the state-transfer path
+        // (and PBFT's log truncation) rather than replaying from genesis.
+        s.checkpoint_interval = 25;
+    }
 
     const FaultGrammar& g = config.grammar;
     int fault_budget = member_fault_budget(system, n);
     std::set<int> faulted;
     bool has_dense_traffic = false;
+    TimePoint churn_end = 0;
     const int events = static_cast<int>(rng.uniform(
         static_cast<std::uint64_t>(std::max(0, g.max_fault_events)) + 1));
     for (int k = 0; k < events; ++k) {
@@ -198,6 +212,22 @@ Scenario generate_episode(const ExploreConfig& config, SystemKind system, int n,
             case Draw::kPbftTimeouts:
                 s.timeline.push_back(ScenarioEvent::fire_timeouts(at));
                 break;
+            case Draw::kChurn: {
+                // One crash -> recover -> rejoin arc. The gap is generous
+                // (suspicion, exclusion and the flush must all land before
+                // the rejoin starts) and the recovery instant extends the
+                // deadline so the state transfer has room to finish.
+                int member = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+                while (faulted.contains(member)) member = (member + 1) % n;
+                faulted.insert(member);
+                --fault_budget;
+                const Duration gap =
+                    1 * kSecond + static_cast<Duration>(rng.uniform(1 * kSecond));
+                s.timeline.push_back(ScenarioEvent::crash(at, member));
+                s.timeline.push_back(ScenarioEvent::recover(at + gap, member));
+                churn_end = std::max(churn_end, at + gap);
+                break;
+            }
         }
     }
     // Canonical timeline order (stable in the sampled order for equal
@@ -207,7 +237,7 @@ Scenario generate_episode(const ExploreConfig& config, SystemKind system, int n,
 
     // Always bound the run: crashes can stall quiescence-reaching protocols
     // behind missing ACKs, and spontaneous fail-signal plans never quiesce.
-    s.deadline = std::max(s.workload_end(), g.horizon) + 5 * kSecond;
+    s.deadline = std::max({s.workload_end(), g.horizon, churn_end}) + 5 * kSecond;
     return s;
 }
 
@@ -336,6 +366,7 @@ std::string ExploreReport::to_json() const {
     w.field("loads", config.grammar.loads);
     w.field("pbft_timeouts", config.grammar.pbft_timeouts);
     w.field("newtop_suspectors", config.grammar.newtop_suspectors);
+    w.field("churn", config.grammar.churn);
     w.field("exclusive_traffic_and_member_faults",
             config.grammar.exclusive_traffic_and_member_faults);
     w.field("shrink", config.shrink);

@@ -69,6 +69,15 @@ struct FaultGrammar {
     /// turn on to watch the explorer rediscover the paper's Figure-of-merit
     /// failure (no-false-exclusion trips).
     bool newtop_suspectors{false};
+    /// Churn episodes: the grammar may draw a crash -> recover pair for one
+    /// victim (links healed and the rejoin protocol run a generous gap after
+    /// the crash), exercising checkpoint transfer and the rejoined-state /
+    /// KV-linearizability checkers inside one episode. Crashed members must
+    /// actually be excluded before they can rejoin, so on plain NewTOP the
+    /// draw additionally requires `newtop_suspectors`. Off by default: churn
+    /// runs under a dedicated CI campaign with a pinned seed, not inside the
+    /// default soundness sweep.
+    bool churn{false};
     /// Historical quarantine knob: when true, on stacks with membership
     /// exclusions (FS-NewTOP; NewTOP when suspectors run) an episode draws
     /// EITHER dense-traffic events (load phases, bursts) OR member-fault

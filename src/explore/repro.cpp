@@ -102,6 +102,8 @@ std::string event_line(const ScenarioEvent& e) {
             return "load" + at + " rate=" + fmt_double(e.load_spec.rate) +
                    " duration_us=" + std::to_string(e.load_spec.duration) +
                    " payload=" + std::to_string(e.load_spec.payload);
+        case Kind::kRecoverMember:
+            return "recover" + at + " member=" + std::to_string(e.member);
     }
     return "?";
 }
@@ -337,6 +339,12 @@ bool parse_event(const std::string& body, ScenarioEvent& e, std::string& error) 
         e = ScenarioEvent::fire_timeouts(at);
         return true;
     }
+    if (kind == "recover") {
+        int member = 0;
+        if (!need_int("member", member)) return false;
+        e = ScenarioEvent::recover(at, member);
+        return true;
+    }
     if (kind == "load") {
         scenario::LoadSpec spec;
         std::int64_t payload = 0;
@@ -389,6 +397,11 @@ std::string to_spec(const Scenario& s, const std::string& expect_violation) {
     out += "fs_t2_us = " + std::to_string(s.fs_config.t2) + "\n";
     out += "fs_compare_slack_us = " + std::to_string(s.fs_config.compare_slack) + "\n";
     out += "fs_order_link_mac = " + std::to_string(s.fs_config.order_link_mac ? 1 : 0) + "\n";
+    // Written only when set: pre-recovery specs (and their byte-level
+    // fixtures) never carried the key, and 0 is its documented default.
+    if (s.checkpoint_interval != 0) {
+        out += "checkpoint_interval = " + std::to_string(s.checkpoint_interval) + "\n";
+    }
     if (!expect_violation.empty()) out += "expect_violation = " + expect_violation + "\n";
     for (const auto& e : s.timeline) out += "event = " + event_line(e) + "\n";
     return out;
@@ -504,6 +517,9 @@ Result<ReproSpec> parse_spec(const std::string& text) {
             if (!parse_bool(value, s.fs_config.order_link_mac)) {
                 return bad("fs_order_link_mac");
             }
+        } else if (key == "checkpoint_interval") {
+            if (!parse_u64(value, u64)) return bad("checkpoint_interval");
+            s.checkpoint_interval = u64;
         } else if (key == "expect_violation") {
             spec.expect_violation = value;
         } else if (key == "event") {

@@ -88,6 +88,24 @@ Duration Fso::t2_effective() const {
     return base + cfg_.compare_slack;
 }
 
+void Fso::reset_for_recovery(std::uint64_t seq_base) {
+    for (auto& [uid, entry] : irmp_) {
+        if (entry.timer != 0) sim_.cancel(entry.timer);
+    }
+    for (auto& [id, entry] : icmp_) {
+        if (entry.timer != 0) sim_.cancel(entry.timer);
+    }
+    irmp_.clear();
+    icmp_.clear();
+    ecmp_.clear();
+    dmq_.clear();
+    ordered_uids_.clear();
+    signalling_ = false;
+    exec_busy_ = false;
+    next_seq_ = seq_base;
+    next_exec_seq_ = seq_base;
+}
+
 // ---------------------------------------------------------------------------
 // Input path (receiveNew / Order process)
 // ---------------------------------------------------------------------------

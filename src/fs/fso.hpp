@@ -131,6 +131,20 @@ public:
     [[nodiscard]] std::uint64_t fail_signals_sent() const { return fail_signals_sent_; }
     [[nodiscard]] DeterministicService& service() { return *service_; }
 
+    /// Next input order sequence this wrapper object would assign/execute.
+    [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+    /// Crash-recovery reset: cancels every pending Order/Compare timer,
+    /// drops the pools' bookkeeping (DMQ, IRMP, ICMP/ECMP) and the
+    /// fail-signalling latch, and re-bases the input order at `seq_base`.
+    /// Both wrapper objects of a pair MUST be reset to the same base (the
+    /// max of their next_seq()) before the link is unblocked, or the first
+    /// ordered input after recovery mismatches and the pair re-signals.
+    /// The wrapped service is NOT touched — the caller follows up with a
+    /// service-level recovery input (e.g. the GC's "__rejoin") that both
+    /// replicas execute deterministically.
+    void reset_for_recovery(std::uint64_t seq_base);
+
     /// Effective follower IRMP timeout (t2).
     [[nodiscard]] Duration t2_effective() const;
 

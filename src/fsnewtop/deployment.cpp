@@ -63,6 +63,7 @@ FsNewTopDeployment::FsNewTopDeployment(const FsNewTopOptions& options)
         cfg.protocol_op_cost = options.costs.gc_protocol_op;
         cfg.obs = options.obs;
         cfg.obs_member = i;
+        cfg.checkpoint_interval = options.checkpoint_interval;
 
         // The factory runs twice — leader replica first, then the follower
         // (fs/process.cpp construction order). Only the leader gets the obs
@@ -94,6 +95,10 @@ fs::Fso& FsNewTopDeployment::follower_fso(int member) {
 
 newtop::GcService& FsNewTopDeployment::gc_leader(int member) {
     return dynamic_cast<newtop::GcService&>(leader_fso(member).service());
+}
+
+const newtop::GcService& FsNewTopDeployment::gc_leader(int member) const {
+    return const_cast<FsNewTopDeployment*>(this)->gc_leader(member);
 }
 
 newtop::GcService& FsNewTopDeployment::gc_follower(int member) {

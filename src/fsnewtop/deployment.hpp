@@ -46,6 +46,8 @@ struct FsNewTopOptions {
     /// External runtime (the TCP backend): transport/fault plane/per-node
     /// event loops. Default (all null) = stack-owned sim world.
     net::RuntimeEnv env{};
+    /// Replicated KV app checkpoint cadence (0 = off; see app::KvStore).
+    std::uint64_t checkpoint_interval{0};
 };
 
 class FsNewTopDeployment {
@@ -69,6 +71,7 @@ public:
     [[nodiscard]] fs::Fso& follower_fso(int member);
     /// The GC state machine replicas inside the pair.
     [[nodiscard]] newtop::GcService& gc_leader(int member);
+    [[nodiscard]] const newtop::GcService& gc_leader(int member) const;
     [[nodiscard]] newtop::GcService& gc_follower(int member);
 
     [[nodiscard]] static std::string gc_name(int member) {

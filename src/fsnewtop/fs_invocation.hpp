@@ -26,6 +26,12 @@ public:
 
     [[nodiscard]] const fs::FsClient& client() const { return client_; }
 
+    /// Sends a raw control operation (e.g. "__rejoin") to the GC pair,
+    /// outside the multicast marshalling path.
+    void send_control(const std::string& operation, Bytes body) {
+        client_.send(gc_fs_name_, operation, std::move(body));
+    }
+
 protected:
     /// One FsClient::send per ordered unit — with batching on, ONE signed
     /// envelope (and one FS protocol round: order record, compare match,

@@ -27,12 +27,6 @@
 
 namespace failsig::net {
 
-/// Deprecated alias for one release: out-of-tree scenarios that held a
-/// `net::Network&` still compile; they were only ever using the delivery
-/// surface, which is exactly `net::Transport` now.
-using Network [[deprecated("use net::Transport (and net::FaultInjector for fault hooks)")]] =
-    Transport;
-
 /// Delay parameters for the asynchronous network.
 struct AsyncLinkParams {
     /// Minimum propagation delay.

@@ -149,6 +149,11 @@ void TcpTransport::isolate(NodeId node) {
     dead_nodes_.insert(node.value);
 }
 
+void TcpTransport::restore(NodeId node) {
+    std::lock_guard lk(fault_mu_);
+    dead_nodes_.erase(node.value);
+}
+
 // --- fault injection -----------------------------------------------------
 
 void TcpTransport::block(NodeId a, NodeId b) {

@@ -106,6 +106,8 @@ public:
     /// Crash-as-teardown support: frames to or from `node` are dropped
     /// from now on, at send and at the reactor.
     void isolate(NodeId node);
+    /// Recovery: undoes isolate(node); the node's frames flow again.
+    void restore(NodeId node);
     [[nodiscard]] const EndpointMap& endpoints() const { return endpoint_map_; }
 
 private:

@@ -43,6 +43,7 @@ NewTopDeployment::NewTopDeployment(const NewTopOptions& options)
         cfg.protocol_op_cost = options.costs.gc_protocol_op;
         cfg.obs = options.obs;
         cfg.obs_member = i;
+        cfg.checkpoint_interval = options.checkpoint_interval;
 
         member.gc = std::make_unique<GcServant>(orb, "gc", std::make_unique<GcService>(cfg));
         member.invocation = std::make_unique<PlainInvocation>(orb, "inv", *member.gc);
@@ -74,6 +75,14 @@ PlainInvocation& NewTopDeployment::invocation(int member) {
 
 GcService& NewTopDeployment::gc(int member) {
     return members_.at(static_cast<std::size_t>(member)).gc->gc();
+}
+
+const GcService& NewTopDeployment::gc(int member) const {
+    return members_.at(static_cast<std::size_t>(member)).gc->gc();
+}
+
+GcServant& NewTopDeployment::gc_servant(int member) {
+    return *members_.at(static_cast<std::size_t>(member)).gc;
 }
 
 PingSuspector& NewTopDeployment::suspector(int member) {

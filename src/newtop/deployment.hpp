@@ -35,6 +35,8 @@ struct NewTopOptions {
     /// Per-run observability context (nullptr = off); threaded into every
     /// member's Invocation layer and GC service.
     obs::Obs* obs{nullptr};
+    /// Replicated KV app checkpoint cadence (0 = off; see app::KvStore).
+    std::uint64_t checkpoint_interval{0};
     /// External runtime (the TCP backend): transport/fault plane/per-node
     /// event loops. Default (all null) = stack-owned sim world.
     net::RuntimeEnv env{};
@@ -54,6 +56,8 @@ public:
 
     [[nodiscard]] PlainInvocation& invocation(int member);
     [[nodiscard]] GcService& gc(int member);
+    [[nodiscard]] const GcService& gc(int member) const;
+    [[nodiscard]] GcServant& gc_servant(int member);
     [[nodiscard]] PingSuspector& suspector(int member);
     [[nodiscard]] NodeId node_of(int member) const { return NodeId{static_cast<std::uint32_t>(member + 1)}; }
 

@@ -23,6 +23,7 @@ public:
     void submit_local(const std::string& operation, Bytes body);
 
     [[nodiscard]] GcService& gc() { return *gc_; }
+    [[nodiscard]] const GcService& gc() const { return *gc_; }
     [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
 
 private:

@@ -15,7 +15,8 @@ bool ts_pair_greater(std::uint64_t a_ts, MemberId a_id, std::uint64_t b_ts, Memb
 }
 }  // namespace
 
-GcService::GcService(GcConfig config) : cfg_(std::move(config)) {
+GcService::GcService(GcConfig config)
+    : cfg_(std::move(config)), app_(cfg_.checkpoint_interval) {
     view_.view_id = 1;
     view_.members = cfg_.initial_members;
     std::sort(view_.members.begin(), view_.members.end());
@@ -64,6 +65,8 @@ std::vector<fs::Outbound> GcService::process(const std::string& operation, const
         // faulty FS process, so this suspicion cannot be false (§3.1).
         const auto it = cfg_.fs_members.find(string_of(body));
         if (it != cfg_.fs_members.end()) on_suspect(it->second, out);
+    } else if (operation == "__rejoin") {
+        begin_rejoin(out);
     }
     return out;
 }
@@ -168,11 +171,21 @@ void GcService::on_multicast(const MulticastRequest& request, Out& out) {
 }
 
 void GcService::on_gc_message(const GcMessage& msg, Out& out) {
-    // View protocol messages are accepted from proposed members too; all
-    // other traffic must come from a current view member.
+    // View and join protocol messages are accepted from outside the current
+    // view (proposed members, a rejoining member, grants that overtake the
+    // install on the wire); all other traffic must come from a view member.
     const bool is_view_msg = msg.kind == GcKind::kViewPropose || msg.kind == GcKind::kViewAck ||
                              msg.kind == GcKind::kViewInstall ||
-                             msg.kind == GcKind::kFlushState || msg.kind == GcKind::kFlushDone;
+                             msg.kind == GcKind::kFlushState || msg.kind == GcKind::kFlushDone ||
+                             msg.kind == GcKind::kJoinRequest || msg.kind == GcKind::kJoinGrant;
+    if (joining_ && !is_view_msg) {
+        // Mid-join the local protocol positions are meaningless; park the
+        // ordinary traffic and replay it once the grants define where the
+        // streams resume (stale entries are then dropped by the per-stream
+        // duplicate checks).
+        join_deferred_.push_back(msg);
+        return;
+    }
     if (!is_view_msg && !view_.contains(msg.sender)) return;
 
     // Payload-carrying peer traffic = the span's receive stage (ACKs and
@@ -207,6 +220,8 @@ void GcService::on_gc_message(const GcMessage& msg, Out& out) {
         case GcKind::kViewInstall: handle_view_install(msg, out); break;
         case GcKind::kFlushState: handle_flush_state(msg, out); break;
         case GcKind::kFlushDone: handle_flush_done(msg, out); break;
+        case GcKind::kJoinRequest: handle_join_request(msg, out); break;
+        case GcKind::kJoinGrant: handle_join_grant(msg, out); break;
     }
 }
 
@@ -321,6 +336,11 @@ void GcService::check_sym_delivery(Out& out) {
         sym_watermark_ = key;
         sym_retained_[key] = msg;
         if (sym_retained_.size() > kSymRetainedCap) {
+            // Cap eviction is not a watermark prune: nobody proved every
+            // peer delivered this entry. Remember the key so a later flush
+            // can tell whether the cap actually opened an agreement gap.
+            sym_evicted_.insert(sym_retained_.begin()->first);
+            ++flush_log_evictions_;
             sym_retained_.erase(sym_retained_.begin());
         }
         sym_buffer_.erase(sym_buffer_.begin());
@@ -371,6 +391,8 @@ void GcService::check_asym_delivery(Out& out) {
         // no ACK to piggyback watermarks on, so retention is cap-bounded).
         asym_retained_[it->first] = it->second;
         if (asym_retained_.size() > kAsymRetainedCap) {
+            asym_evicted_.insert(asym_retained_.begin()->first);
+            ++flush_log_evictions_;
             asym_retained_.erase(asym_retained_.begin());
         }
         asym_buffer_.erase(it);
@@ -457,8 +479,17 @@ void GcService::maybe_propose_view(Out& out) {
     for (const auto m : view_.members) {
         if (!suspected_.contains(m)) candidates.push_back(m);
     }
+    for (const auto j : join_pending_) {
+        if (!suspected_.contains(j) && !view_.contains(j)) candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
     if (candidates.empty()) return;
-    if (candidates.front() != cfg_.self) return;  // not the coordinator
+    // The coordinator is the lowest *survivor*: a pending joiner has no
+    // ordering state to merge a flush from, so it never leads.
+    const auto coord = std::find_if(candidates.begin(), candidates.end(),
+                                    [&](MemberId m) { return view_.contains(m); });
+    if (coord == candidates.end() || *coord != cfg_.self) return;  // not the coordinator
 
     const std::uint64_t id =
         std::max({view_.view_id, last_proposed_id_, highest_view_seen_}) + 1;
@@ -498,7 +529,7 @@ void GcService::handle_view_propose(const GcMessage& msg, Out& out) {
         msg.view_members.end()) {
         return;  // we are excluded; our own partition will regroup
     }
-    if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+    if (!plausible_coordinator(msg)) return;
 
     GcMessage ack;
     ack.kind = GcKind::kViewAck;
@@ -536,7 +567,7 @@ void GcService::handle_view_install(const GcMessage& msg, Out& out) {
         msg.view_members.end()) {
         return;
     }
-    if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+    if (!plausible_coordinator(msg)) return;
     if (flush_pending_ >= msg.view_id) {
         // The kFlushDone for this round performs the install after the cut
         // is applied; an install overtaking it on the wire must not skip the
@@ -561,6 +592,8 @@ void GcService::install_view(std::uint64_t view_id, std::vector<MemberId> member
     std::erase_if(flush_rounds_, [&](const auto& kv) { return kv.first <= view_id; });
     sym_retained_.clear();
     asym_retained_.clear();
+    sym_evicted_.clear();
+    asym_evicted_.clear();
     for (auto it = peer_watermark_.begin(); it != peer_watermark_.end();) {
         it = view_.contains(it->first) ? std::next(it) : peer_watermark_.erase(it);
     }
@@ -606,14 +639,252 @@ void GcService::install_view(std::uint64_t view_id, std::vector<MemberId> member
         }
     }
 
+    // Grant any joiner admitted by this view its state transfer NOW — after
+    // the cut and the deferred replay (so the snapshot covers every old-view
+    // delivery) but before any new-view send below. A send before the grant
+    // would carry a stream position at or below the grant's resume point and
+    // the joiner would drop it as stale, losing its effect forever.
+    send_join_grants(out);
+
     // Release application traffic held during the flush into the new view.
     const std::vector<MulticastRequest> held = std::move(flush_held_multicasts_);
     flush_held_multicasts_.clear();
     for (const auto& r : held) on_multicast(r, out);
 
-    // If suspicions remain inside the new view (e.g. two members failed),
-    // keep shrinking.
-    if (!suspected_.empty()) maybe_propose_view(out);
+    // If suspicions remain inside the new view (e.g. two members failed) or
+    // a join request arrived too late for this round, keep reconfiguring.
+    if (!suspected_.empty() || !join_pending_.empty()) maybe_propose_view(out);
+
+    // A joiner may have collected its full grant set before the install
+    // reached it (FS outputs travel as independent signed streams).
+    if (joining_) maybe_complete_join(out);
+}
+
+bool GcService::plausible_coordinator(const GcMessage& msg) const {
+    // The expected coordinator is the lowest listed member that is not a
+    // joiner: joiners have no ordering state and never lead a flush. With no
+    // join in progress this degenerates to the original front()==sender rule.
+    for (const auto m : msg.view_members) {
+        if (join_pending_.contains(m)) continue;
+        if (joining_ && m == cfg_.self) continue;
+        return m == msg.sender;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rejoin (crash recovery)
+//
+// A recovered member starts from nothing: "__rejoin" wipes the service back
+// to a singleton group and broadcasts kJoinRequest. Survivors fold the
+// joiner into the next membership round — the ordinary view-synchronous
+// flush runs with the joiner as a (state-less) participant, so the install
+// point doubles as the state-transfer barrier: at install every survivor
+// has delivered the full old-view prefix, and each sends the joiner a
+// kJoinGrant with its protocol positions plus the replicated app snapshot.
+// The joiner adopts the lowest-id granter's cut wholesale, resumes every
+// per-sender stream at the granted position, and replays traffic it parked
+// while joining (stale entries fall to the per-stream duplicate checks).
+// ---------------------------------------------------------------------------
+
+void GcService::begin_rejoin(Out& out) {
+    // Forget everything the crash destroyed: restart as a singleton group
+    // holding only our identity, then ask the survivors for readmission.
+    // Cumulative counters survive — they describe the process lifetime, not
+    // the group epoch.
+    view_.view_id = 1;
+    view_.members = {cfg_.self};
+    highest_view_seen_ = 1;
+    suspected_.clear();
+    lamport_ = 0;
+    sym_seq_ = 0;
+    sym_buffer_.clear();
+    latest_ts_.clear();
+    latest_ts_[cfg_.self] = 0;
+    sym_stream_out_ = 0;
+    sym_stream_next_.clear();
+    sym_stream_next_[cfg_.self] = 1;
+    sym_holdback_.clear();
+    asym_seq_ = 0;
+    asym_next_assign_ = 1;
+    asym_next_deliver_ = 1;
+    highest_order_seen_ = 0;
+    asym_buffer_.clear();
+    vc_.assign(cfg_.initial_members.size(), 0);
+    causal_delivered_.clear();
+    causal_delivered_[cfg_.self] = 0;
+    causal_buffer_.clear();
+    rel_seq_ = 0;
+    fifo_next_.clear();
+    fifo_next_[cfg_.self] = 1;
+    fifo_buffer_.clear();
+    last_proposed_id_ = 0;
+    proposed_members_.clear();
+    view_acks_.clear();
+    flush_pending_ = 0;
+    flush_rounds_.clear();
+    flush_deferred_.clear();
+    flush_held_multicasts_.clear();
+    sym_watermark_ = {0, 0};
+    sym_retained_.clear();
+    asym_retained_.clear();
+    sym_evicted_.clear();
+    asym_evicted_.clear();
+    peer_watermark_.clear();
+    join_pending_.clear();
+    join_grants_.clear();
+    join_grant_view_ = 0;
+    join_deferred_.clear();
+    delivery_out_seq_ = 0;
+    app_ = app::KvStore(cfg_.checkpoint_interval);
+    joining_ = true;
+    FAILSIG_LOG(LogLevel::kInfo, GC) << "member " << cfg_.self << " requests rejoin";
+    if (cfg_.obs != nullptr) cfg_.obs->note(cfg_.obs_member, "rejoin requested");
+
+    GcMessage req;
+    req.kind = GcKind::kJoinRequest;
+    req.sender = cfg_.self;
+    // Broadcast by peer directory, not by view (our view is just us).
+    for (const auto& [m, dest] : cfg_.peers) {
+        if (m == cfg_.self) continue;
+        out.emplace_back(dest, "gc", req.encode());
+    }
+}
+
+void GcService::handle_join_request(const GcMessage& msg, Out& out) {
+    if (msg.sender == cfg_.self || joining_) return;
+    join_pending_.insert(msg.sender);
+    suspected_.erase(msg.sender);
+    // The joiner restarts its outgoing streams from scratch; stale resume
+    // positions from its previous incarnation would drop everything it sends
+    // as duplicates. Causal state is NOT reset: the joiner adopts the group's
+    // vector clock (its old slot included) from the grant, so its next causal
+    // send continues the old numbering.
+    sym_stream_next_[msg.sender] = 1;
+    sym_holdback_.erase(msg.sender);
+    fifo_next_[msg.sender] = 1;
+    fifo_buffer_.erase(msg.sender);
+    peer_watermark_.erase(msg.sender);
+    FAILSIG_LOG(LogLevel::kInfo, GC)
+        << "member " << cfg_.self << " sees join request from " << msg.sender;
+    if (cfg_.obs != nullptr) cfg_.obs->note(cfg_.obs_member, "join request received");
+    maybe_propose_view(out);
+}
+
+void GcService::handle_join_grant(const GcMessage& msg, Out& out) {
+    if (!joining_) return;
+    auto grant = JoinGrant::decode(msg.payload);
+    if (!grant.has_value()) return;
+    // Grants are keyed by the view that admitted us; a re-propose mid-join
+    // supersedes earlier grants wholesale.
+    if (msg.view_id > join_grant_view_) {
+        join_grants_.clear();
+        join_grant_view_ = msg.view_id;
+    }
+    if (msg.view_id != join_grant_view_) return;  // stale
+    join_grants_[msg.sender] = std::move(grant).value();
+    maybe_complete_join(out);
+}
+
+void GcService::send_join_grants(Out& out) {
+    if (joining_ || join_pending_.empty()) return;
+    std::vector<MemberId> grantees;
+    for (const auto j : join_pending_) {
+        if (view_.contains(j) && j != cfg_.self) grantees.push_back(j);
+    }
+    if (grantees.empty()) return;
+    JoinGrant grant;
+    grant.lamport = lamport_;
+    grant.sym_stream_out = sym_stream_out_;
+    grant.rel_seq = rel_seq_;
+    const std::size_t self_idx = member_index(cfg_.self);
+    grant.causal_out = self_idx < vc_.size() ? vc_[self_idx] : 0;
+    grant.sym_watermark_ts = sym_watermark_.first;
+    grant.sym_watermark_sender = sym_watermark_.second;
+    grant.asym_next_deliver = asym_next_deliver_;
+    grant.asym_next_assign = asym_next_assign_;
+    grant.vector_clock = vc_;
+    grant.app_snapshot = app_.snapshot();
+    GcMessage msg;
+    msg.kind = GcKind::kJoinGrant;
+    msg.sender = cfg_.self;
+    msg.view_id = view_.view_id;
+    msg.payload = grant.encode();
+    for (const auto j : grantees) {
+        send_to(j, msg, out);
+        join_pending_.erase(j);
+    }
+    if (cfg_.obs != nullptr) cfg_.obs->note(cfg_.obs_member, "join grant sent");
+}
+
+void GcService::maybe_complete_join(Out& out) {
+    if (!joining_) return;
+    // Completion needs the admitting view installed AND a grant from every
+    // survivor in it (grants and the install travel as independent streams
+    // under FS and may arrive in either order).
+    if (view_.view_id != join_grant_view_) return;
+    for (const auto m : view_.members) {
+        if (m == cfg_.self) continue;
+        if (!join_grants_.contains(m)) return;
+    }
+    if (join_grants_.empty()) return;
+
+    // The lowest-id granter's cut is adopted wholesale: its watermark, asym
+    // positions, vector clock, and app snapshot describe one consistent
+    // delivered prefix. (At the install barrier every survivor has applied
+    // the same flush cut, so the choice is arbitrary for the totally ordered
+    // state; taking one granter's view keeps it internally consistent.)
+    const auto& g0 = join_grants_.begin()->second;
+    if (const auto restored = app_.restore(g0.app_snapshot); !restored.has_value()) {
+        if (cfg_.obs != nullptr) {
+            cfg_.obs->note(cfg_.obs_member, "join grant app snapshot rejected");
+        }
+    }
+    sym_watermark_ = {g0.sym_watermark_ts, g0.sym_watermark_sender};
+    asym_next_deliver_ = g0.asym_next_deliver;
+    asym_next_assign_ = g0.asym_next_assign;
+    highest_order_seen_ = asym_next_assign_ - 1;
+    if (g0.vector_clock.size() == vc_.size()) vc_ = g0.vector_clock;
+    for (const auto m : view_.members) {
+        const std::size_t idx = member_index(m);
+        if (idx < vc_.size()) causal_delivered_[m] = vc_[idx];
+    }
+    std::uint64_t max_lamport = 0;
+    for (const auto& [g, grant] : join_grants_) {
+        sym_stream_next_[g] = grant.sym_stream_out + 1;
+        latest_ts_[g] = grant.lamport;
+        fifo_next_[g] = grant.rel_seq + 1;
+        max_lamport = std::max(max_lamport, grant.lamport);
+    }
+    lamport_ = max_lamport;
+    latest_ts_[cfg_.self] = lamport_;
+
+    joining_ = false;
+    join_grants_.clear();
+    join_grant_view_ = 0;
+    ++rejoins_completed_;
+    FAILSIG_LOG(LogLevel::kInfo, GC)
+        << "member " << cfg_.self << " rejoin complete in view " << view_.view_id;
+    if (cfg_.obs != nullptr) cfg_.obs->note(cfg_.obs_member, "rejoin complete");
+
+    // Replay what arrived while we were joining. Per-stream duplicate checks
+    // drop anything at or below the granted resume points; entries that are
+    // provably pre-join (ordered below the adopted positions) are filtered
+    // here so they cannot sit in the hold-back buffers forever.
+    const std::vector<GcMessage> deferred = std::move(join_deferred_);
+    join_deferred_.clear();
+    for (const auto& m : deferred) {
+        if (!view_.contains(m.sender)) continue;
+        if (m.kind == GcKind::kOrder && m.global_seq < asym_next_deliver_) continue;
+        if (m.kind == GcKind::kData && m.service == ServiceType::kCausalOrder) {
+            const std::size_t j = member_index(m.sender);
+            if (j < vc_.size() && m.vector_clock.size() == vc_.size() &&
+                m.vector_clock[j] <= causal_delivered_[m.sender]) {
+                continue;  // pre-join causal send, already in the adopted state
+            }
+        }
+        on_gc_message(m, out);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -717,6 +988,29 @@ void GcService::maybe_complete_flush(Out& out) {
         }
         asym_floor = std::min(asym_floor, round.asym_marks[m]);
     }
+    // Audit the retention caps against the agreed floor: an entry we evicted
+    // that sits above some survivor's watermark is needed for the cut, and if
+    // no other survivor supplied it the view change loses agreement on it.
+    // Recorded (counter + flight note), not fatal: the cut still ships what
+    // exists, and tests assert the counter stays zero under the default caps.
+    for (const auto& key : sym_evicted_) {
+        if (ts_pair_greater(key.first, key.second, sym_floor.first, sym_floor.second) &&
+            !round.sym_entries.contains(key)) {
+            ++flush_eviction_gaps_;
+            if (cfg_.obs != nullptr) {
+                cfg_.obs->note(cfg_.obs_member, "flush-eviction-gap sym");
+            }
+        }
+    }
+    for (const auto seq : asym_evicted_) {
+        if (seq > asym_floor && !round.asym_entries.contains(seq)) {
+            ++flush_eviction_gaps_;
+            if (cfg_.obs != nullptr) {
+                cfg_.obs->note(cfg_.obs_member, "flush-eviction-gap asym");
+            }
+        }
+    }
+
     FlushState cut;
     cut.sym_watermark_ts = sym_floor.first;
     cut.sym_watermark_sender = sym_floor.second;
@@ -756,10 +1050,17 @@ void GcService::handle_flush_done(const GcMessage& msg, Out& out) {
         msg.view_members.end()) {
         return;
     }
-    if (msg.view_members.empty() || msg.view_members.front() != msg.sender) return;
+    if (!plausible_coordinator(msg)) return;
     auto cut = FlushState::decode(msg.payload);
     if (!cut.has_value()) return;
     if (cfg_.obs != nullptr) cfg_.obs->flush_message();
+    if (joining_) {
+        // A joiner has no old-view prefix to reconcile: the JoinGrant's app
+        // snapshot and stream positions supersede every cut delivery, so
+        // re-delivering them here would only duplicate the history upstream.
+        install_view(msg.view_id, msg.view_members, out);
+        return;
+    }
     apply_cut(cut.value(), out);
     install_view(msg.view_id, msg.view_members, out);
 }
@@ -864,6 +1165,14 @@ void GcService::broadcast(const GcMessage& msg, Out& out) {
 void GcService::deliver(Delivery d, Out& out) {
     if (d.kind == Delivery::Kind::kMessage) {
         ++delivered_count_;
+        // The replicated KV app consumes the totally ordered services only:
+        // causal/FIFO/unreliable deliveries interleave differently at every
+        // member, so folding them in would diverge the digests even on
+        // fault-free runs.
+        if (d.service == ServiceType::kSymmetricTotalOrder ||
+            d.service == ServiceType::kAsymmetricTotalOrder) {
+            app_.apply(d.payload);
+        }
         if (cfg_.obs != nullptr) {
             cfg_.obs->span(obs::Stage::kOrdered, d.payload, cfg_.obs_member);
         }

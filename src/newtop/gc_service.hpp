@@ -21,11 +21,15 @@
 //   "suspect"       body = u32 member id         (from a suspector module)
 //   "__failsignal"  body = FS process name       (FS-NewTOP: converted to a
 //                                                 suspicion; never false)
+//   "__rejoin"      body = empty                 (recovery driver: wipe local
+//                                                 state and ask the survivors
+//                                                 for readmission)
 #pragma once
 
 #include <map>
 #include <set>
 
+#include "app/kv_store.hpp"
 #include "fs/service.hpp"
 #include "newtop/wire.hpp"
 #include "obs/obs.hpp"
@@ -52,6 +56,8 @@ struct GcConfig {
     obs::Obs* obs{nullptr};
     /// Member index used to label this GC's flight-recorder events.
     int obs_member{-1};
+    /// Replicated KV app checkpoint cadence (0 = no periodic checkpoints).
+    std::uint64_t checkpoint_interval{0};
 };
 
 class GcService final : public fs::DeterministicService {
@@ -72,6 +78,17 @@ public:
     /// True while a view-change flush round is in progress (new application
     /// traffic is held and the symmetric stream is deferred).
     [[nodiscard]] bool flushing() const { return flush_pending_ != 0; }
+    /// The replicated KV application this GC drives (totally ordered
+    /// deliveries only — see deliver()).
+    [[nodiscard]] const app::KvStore& app() const { return app_; }
+    /// True between "__rejoin" and the completed grant exchange.
+    [[nodiscard]] bool joining() const { return joining_; }
+    [[nodiscard]] std::uint64_t rejoins_completed() const { return rejoins_completed_; }
+    /// Retained-log entries dropped by the hard caps (not watermark prunes).
+    [[nodiscard]] std::uint64_t flush_log_evictions() const { return flush_log_evictions_; }
+    /// Flush rounds where a cap-evicted entry was above the merged floor and
+    /// no survivor could re-supply it — the agreement hole the caps risk.
+    [[nodiscard]] std::uint64_t flush_eviction_gaps() const { return flush_eviction_gaps_; }
 
 private:
     using Out = std::vector<fs::Outbound>;
@@ -106,6 +123,17 @@ private:
     void handle_view_ack(const GcMessage& msg, Out& out);
     void handle_view_install(const GcMessage& msg, Out& out);
     void install_view(std::uint64_t view_id, std::vector<MemberId> members, Out& out);
+    /// True iff `msg.sender` is the lowest member of `msg.view_members` that
+    /// is not a pending joiner (joiners never coordinate: they have no state
+    /// to merge a flush from).
+    [[nodiscard]] bool plausible_coordinator(const GcMessage& msg) const;
+
+    // rejoin (crash recovery)
+    void begin_rejoin(Out& out);
+    void handle_join_request(const GcMessage& msg, Out& out);
+    void handle_join_grant(const GcMessage& msg, Out& out);
+    void send_join_grants(Out& out);
+    void maybe_complete_join(Out& out);
 
     // view-synchronous flush
     /// Coordinator-side accumulator for one flush round. Rounds are keyed by
@@ -194,10 +222,35 @@ private:
     std::map<MemberId, std::pair<std::uint64_t, MemberId>> peer_watermark_;
     static constexpr std::size_t kSymRetainedCap = 4096;
     static constexpr std::size_t kAsymRetainedCap = 1024;
+    /// Keys the hard caps evicted from the retained logs this epoch. A key
+    /// still here when a flush round's floor passes below it is an entry some
+    /// survivor may need and nobody can re-supply: counted as a gap (and the
+    /// flight recorder notes it), never silently ignored. Keys leave the set
+    /// when the peer-watermark prune proves them globally delivered, and the
+    /// set restarts with the retention epoch on view install.
+    std::set<std::pair<std::uint64_t, MemberId>> sym_evicted_;
+    std::set<std::uint64_t> asym_evicted_;
+
+    // rejoin (crash recovery)
+    /// Members whose kJoinRequest we have seen and not yet granted.
+    std::set<MemberId> join_pending_;
+    /// Joiner side: grants collected for the join view (keyed by granter).
+    std::map<MemberId, JoinGrant> join_grants_;
+    std::uint64_t join_grant_view_{0};
+    /// Ordinary traffic (kData/kAck/kOrder) parked while joining; replayed
+    /// through on_gc_message once the grant exchange completes.
+    std::vector<GcMessage> join_deferred_;
+    bool joining_{false};
+
+    /// Replicated deterministic application driven by the delivery upcall.
+    app::KvStore app_;
 
     std::uint64_t delivered_count_{0};
     std::uint64_t views_installed_{0};
     std::uint64_t delivery_out_seq_{0};
+    std::uint64_t rejoins_completed_{0};
+    std::uint64_t flush_log_evictions_{0};
+    std::uint64_t flush_eviction_gaps_{0};
 };
 
 }  // namespace failsig::newtop

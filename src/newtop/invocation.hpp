@@ -56,6 +56,16 @@ public:
         obs_member_ = member;
     }
 
+    /// Crash-recovery reset: re-arms the delivery resequencer and drops the
+    /// flush gate so the rejoined GC's restarted delivery stream (seq 1, 2,
+    /// ...) is accepted. Call before submitting the GC's "__rejoin".
+    void prepare_rejoin() {
+        next_delivery_seq_ = 1;
+        pending_deliveries_.clear();
+        flush_gated_ = false;
+        gated_units_.clear();
+    }
+
     void on_delivery(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
     void on_view(ViewHandler handler) { view_handler_ = std::move(handler); }
     void on_middleware_failure(MiddlewareFailureHandler handler) {

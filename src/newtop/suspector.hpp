@@ -28,6 +28,20 @@ public:
     /// Stops pinging; pending timers become no-ops.
     void stop();
 
+    /// Crash-recovery: drops the suspicion of `member` and restarts its
+    /// timeout from now. The last_heard_ refresh matters — leaving the stale
+    /// (or defaulted-to-zero) timestamp would re-suspect the member on the
+    /// very next tick, before its first pong can arrive.
+    void forgive(MemberId member) {
+        suspected_.erase(member);
+        last_heard_[member] = sim_.now();
+    }
+    /// Recovering member: forget every suspicion accumulated pre-crash.
+    void forgive_all() {
+        suspected_.clear();
+        for (const auto& [m, ref] : peers_) last_heard_[m] = sim_.now();
+    }
+
     void dispatch(const orb::Request& request) override;
 
     [[nodiscard]] std::uint64_t suspicions_raised() const { return suspicions_raised_; }

@@ -32,7 +32,7 @@ Result<GcMessage> GcMessage::decode(std::span<const std::uint8_t> data) {
         ByteReader r(data);
         GcMessage m;
         const auto kind_raw = r.u8();
-        if (kind_raw < 1 || kind_raw > 8) return Result<GcMessage>::err("bad GcKind");
+        if (kind_raw < 1 || kind_raw > 10) return Result<GcMessage>::err("bad GcKind");
         m.kind = static_cast<GcKind>(kind_raw);
         m.sender = r.u32();
         m.stream_seq = r.u64();
@@ -100,6 +100,54 @@ Result<FlushState> FlushState::decode(std::span<const std::uint8_t> data) {
         return st;
     } catch (const std::out_of_range&) {
         return Result<FlushState>::err("truncated FlushState");
+    }
+}
+
+std::size_t JoinGrant::wire_size() const {
+    return 7 * 8 + 4 + 4 + 8 * vector_clock.size() + 4 + app_snapshot.size();
+}
+
+Bytes JoinGrant::encode() const {
+    ByteWriter w;
+    w.reserve(wire_size());
+    w.u64(lamport);
+    w.u64(sym_stream_out);
+    w.u64(rel_seq);
+    w.u64(causal_out);
+    w.u64(sym_watermark_ts);
+    w.u32(sym_watermark_sender);
+    w.u64(asym_next_deliver);
+    w.u64(asym_next_assign);
+    w.u32(static_cast<std::uint32_t>(vector_clock.size()));
+    for (const auto v : vector_clock) w.u64(v);
+    w.bytes(app_snapshot);
+    return w.take();
+}
+
+Result<JoinGrant> JoinGrant::decode(std::span<const std::uint8_t> data) {
+    try {
+        ByteReader r(data);
+        JoinGrant g;
+        g.lamport = r.u64();
+        g.sym_stream_out = r.u64();
+        g.rel_seq = r.u64();
+        g.causal_out = r.u64();
+        g.sym_watermark_ts = r.u64();
+        g.sym_watermark_sender = r.u32();
+        g.asym_next_deliver = r.u64();
+        g.asym_next_assign = r.u64();
+        if (g.asym_next_deliver == 0 || g.asym_next_assign == 0) {
+            return Result<JoinGrant>::err("asym positions are 1-based");
+        }
+        const auto vc_size = r.u32();
+        if (vc_size > 4096) return Result<JoinGrant>::err("implausible vector clock");
+        g.vector_clock.reserve(vc_size);
+        for (std::uint32_t i = 0; i < vc_size; ++i) g.vector_clock.push_back(r.u64());
+        g.app_snapshot = r.bytes();
+        if (!r.done()) return Result<JoinGrant>::err("trailing bytes in JoinGrant");
+        return g;
+    } catch (const std::out_of_range&) {
+        return Result<JoinGrant>::err("truncated JoinGrant");
     }
 }
 

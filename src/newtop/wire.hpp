@@ -20,6 +20,8 @@ enum class GcKind : std::uint8_t {
     kViewInstall = 6,  ///< coordinator finalizes the view
     kFlushState = 7,   ///< survivor -> coordinator: FlushState for a proposal
     kFlushDone = 8,    ///< coordinator -> survivors: agreed cut, then install
+    kJoinRequest = 9,  ///< rejoining member asks the survivors for readmission
+    kJoinGrant = 10,   ///< survivor -> joiner: protocol positions + app state
 };
 
 /// One GC-to-GC protocol message. A single struct with optional fields keeps
@@ -84,6 +86,39 @@ struct FlushState {
     static Result<FlushState> decode(std::span<const std::uint8_t> data);
 
     friend bool operator==(const FlushState&, const FlushState&) = default;
+};
+
+/// Rejoin state transfer: after a join view installs, every survivor sends
+/// the joiner its protocol positions plus (from the lowest-id granter) the
+/// replicated app snapshot — everything the joiner needs to resume as if it
+/// had delivered the whole prefix. Carried in a kJoinGrant's `payload`.
+struct JoinGrant {
+    /// Granter's Lamport clock (joiner adopts the max over granters).
+    std::uint64_t lamport{0};
+    /// Granter's outgoing per-sender stream position (joiner resumes its
+    /// hold-back for this granter at +1).
+    std::uint64_t sym_stream_out{0};
+    /// Granter's reliable-FIFO sender sequence (joiner expects +1 next).
+    std::uint64_t rel_seq{0};
+    /// Causal messages the joiner should consider delivered from this
+    /// granter.
+    std::uint64_t causal_out{0};
+    /// Granter's symmetric delivery watermark (joiner adopts the lowest-id
+    /// granter's positions wholesale).
+    std::uint64_t sym_watermark_ts{0};
+    MemberId sym_watermark_sender{0};
+    std::uint64_t asym_next_deliver{1};
+    std::uint64_t asym_next_assign{1};
+    /// Granter's causal vector clock, indexed like its member list.
+    std::vector<std::uint64_t> vector_clock;
+    /// app::KvStore snapshot (lowest-id granter's copy is restored).
+    Bytes app_snapshot;
+
+    [[nodiscard]] std::size_t wire_size() const;
+    [[nodiscard]] Bytes encode() const;
+    static Result<JoinGrant> decode(std::span<const std::uint8_t> data);
+
+    friend bool operator==(const JoinGrant&, const JoinGrant&) = default;
 };
 
 /// What the application hands to the Invocation service.

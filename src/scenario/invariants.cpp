@@ -1,8 +1,11 @@
 #include "scenario/invariants.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
+
+#include "app/kv_store.hpp"
 
 namespace failsig::scenario {
 
@@ -39,6 +42,26 @@ bool has_partition(const Scenario& s) {
     return std::any_of(s.timeline.begin(), s.timeline.end(), [](const ScenarioEvent& e) {
         return e.kind == ScenarioEvent::Kind::kPartition;
     });
+}
+
+std::set<int> recovered_members(const Scenario& s) {
+    std::set<int> out;
+    for (const auto& e : s.timeline) {
+        if (e.kind == ScenarioEvent::Kind::kRecoverMember) out.insert(e.member);
+    }
+    return out;
+}
+
+/// Parses one "key=<decimal>" token out of a KvStore::state_string detail
+/// line ("applied=N digest=HEX checkpoints=..."); digest values are hex.
+bool parse_state_field(const std::string& detail, const std::string& key, int base,
+                       std::uint64_t& out) {
+    const auto pos = detail.find(key + "=");
+    if (pos == std::string::npos) return false;
+    const char* begin = detail.c_str() + pos + key.size() + 1;
+    char* end = nullptr;
+    out = std::strtoull(begin, &end, base);
+    return end != begin;
 }
 
 std::string view_to_string(const std::vector<std::uint32_t>& v) {
@@ -178,24 +201,37 @@ public:
         for (const auto& e : t.events()) {
             if (e.kind == TraceEvent::Kind::kSent) sent_at[{e.sender, e.seq}] = e.at;
         }
-        // Per observing member: the instant each sender was first excluded.
+        // Per observing member: the instant each sender was first excluded,
+        // and — when the rejoin protocol re-admitted it into a later view —
+        // the instant it was readmitted. Messages multicast inside the
+        // [excluded, readmitted) window must never be delivered; messages
+        // from a readmitted sender's fresh incarnation are legitimate again.
         std::vector<std::map<std::uint32_t, TimePoint>> excluded_at(
+            static_cast<std::size_t>(s.group_size));
+        std::vector<std::map<std::uint32_t, TimePoint>> readmitted_at(
             static_cast<std::size_t>(s.group_size));
         for (const auto& e : t.events()) {
             if (e.member < 0 || e.member >= s.group_size) continue;
             auto& excluded = excluded_at[static_cast<std::size_t>(e.member)];
+            auto& readmitted = readmitted_at[static_cast<std::size_t>(e.member)];
             if (e.kind == TraceEvent::Kind::kViewInstalled) {
                 for (int m = 0; m < s.group_size; ++m) {
                     const auto id = static_cast<std::uint32_t>(m);
                     const bool in_view = std::find(e.view_members.begin(), e.view_members.end(),
                                                    id) != e.view_members.end();
-                    if (!in_view && !excluded.contains(id)) excluded[id] = e.at;
+                    if (!in_view && !excluded.contains(id)) {
+                        excluded[id] = e.at;
+                    } else if (in_view && excluded.contains(id) && !readmitted.contains(id)) {
+                        readmitted[id] = e.at;
+                    }
                 }
             } else if (e.kind == TraceEvent::Kind::kDelivered) {
                 const auto ex = excluded.find(e.sender);
                 if (ex == excluded.end()) continue;
                 const auto sent = sent_at.find({e.sender, e.seq});
                 if (sent == sent_at.end()) continue;
+                const auto back = readmitted.find(e.sender);
+                if (back != readmitted.end() && sent->second >= back->second) continue;
                 if (sent->second > ex->second) {
                     return {name(), false,
                             "member " + std::to_string(e.member) + " delivered " +
@@ -271,6 +307,130 @@ public:
     }
 };
 
+// --- rejoined state matches survivors ----------------------------------------
+
+/// After a crash -> recover -> rejoin episode, the rejoined member's
+/// replicated KV state (checkpoint transfer + committed suffix) must equal
+/// every survivor's: same applied count, same chain digest. Evaluated over
+/// the end-of-run kAppState records, which only recovery scenarios emit.
+class RejoinedStateInvariant final : public Invariant {
+public:
+    [[nodiscard]] std::string name() const override {
+        return "rejoined-state-matches-survivors";
+    }
+    [[nodiscard]] bool applicable(const Scenario& s) const override {
+        return s.has_recovery() && totally_ordered(s);
+    }
+
+    [[nodiscard]] InvariantResult check(const Scenario& s, const Trace& t) const override {
+        std::map<int, const TraceEvent*> state_of;
+        for (const auto& e : t.events()) {
+            if (e.kind == TraceEvent::Kind::kAppState) state_of[e.member] = &e;
+        }
+        std::set<int> compare(recovered_members(s));
+        for (const int m : correct_members(s)) compare.insert(m);
+
+        const TraceEvent* reference = nullptr;
+        int reference_member = -1;
+        for (const int m : compare) {
+            const auto it = state_of.find(m);
+            if (it == state_of.end()) {
+                return {name(), false,
+                        "member " + std::to_string(m) + " has no app state record " +
+                            "(rejoin did not complete)"};
+            }
+            std::uint64_t applied = 0;
+            std::uint64_t digest = 0;
+            if (!parse_state_field(it->second->detail, "applied", 10, applied) ||
+                !parse_state_field(it->second->detail, "digest", 16, digest)) {
+                return {name(), false,
+                        "member " + std::to_string(m) + " app state unparsable: " +
+                            it->second->detail};
+            }
+            if (reference == nullptr) {
+                reference = it->second;
+                reference_member = m;
+                continue;
+            }
+            std::uint64_t ref_applied = 0;
+            std::uint64_t ref_digest = 0;
+            parse_state_field(reference->detail, "applied", 10, ref_applied);
+            parse_state_field(reference->detail, "digest", 16, ref_digest);
+            if (applied != ref_applied || digest != ref_digest) {
+                return {name(), false,
+                        "member " + std::to_string(m) + " app state (" + it->second->detail +
+                            ") diverges from member " + std::to_string(reference_member) +
+                            " (" + reference->detail + ")"};
+            }
+        }
+        return {name(), true, {}};
+    }
+};
+
+// --- KV linearizability against the committed prefix -------------------------
+
+/// A correct member's KV store must be exactly the fold of its own delivered
+/// prefix: replaying the member's trace deliveries through a fresh KvStore
+/// must land on the recorded (applied, digest) pair. This is the read-path
+/// linearizability claim — reads serve the committed prefix, nothing more,
+/// nothing less. Recovered members are exempt (their state legitimately
+/// contains requests delivered while they were down, via the checkpoint
+/// transfer); the rejoined-state checker covers them.
+class KvLinearizabilityInvariant final : public Invariant {
+public:
+    [[nodiscard]] std::string name() const override { return "kv-linearizability"; }
+    [[nodiscard]] bool applicable(const Scenario& s) const override {
+        if (!s.has_recovery() || !totally_ordered(s)) return false;
+        // Replay reconstructs payload bytes from the (sender, seq) tags and
+        // the declared payload size; a load phase with a different payload
+        // size would make sends indistinguishable.
+        return std::all_of(s.timeline.begin(), s.timeline.end(), [&](const ScenarioEvent& e) {
+            return e.kind != ScenarioEvent::Kind::kLoad ||
+                   e.load_spec.payload == s.workload.payload_size;
+        });
+    }
+
+    [[nodiscard]] InvariantResult check(const Scenario& s, const Trace& t) const override {
+        std::map<int, const TraceEvent*> state_of;
+        for (const auto& e : t.events()) {
+            if (e.kind == TraceEvent::Kind::kAppState) state_of[e.member] = &e;
+        }
+        const auto recovered = recovered_members(s);
+        const std::size_t payload_size = std::max<std::size_t>(s.workload.payload_size, 8);
+        for (const int m : correct_members(s)) {
+            if (recovered.contains(m)) continue;
+            const auto it = state_of.find(m);
+            if (it == state_of.end()) continue;
+            app::KvStore replay;
+            for (const auto& e : t.events()) {
+                if (e.kind != TraceEvent::Kind::kDelivered || e.member != m) continue;
+                ByteWriter w;
+                w.u32(e.sender);
+                w.u32(static_cast<std::uint32_t>(e.seq));
+                Bytes payload = w.take();
+                if (payload.size() < payload_size) payload.resize(payload_size, 0x5a);
+                replay.apply(payload);
+            }
+            std::uint64_t applied = 0;
+            std::uint64_t digest = 0;
+            if (!parse_state_field(it->second->detail, "applied", 10, applied) ||
+                !parse_state_field(it->second->detail, "digest", 16, digest)) {
+                return {name(), false,
+                        "member " + std::to_string(m) + " app state unparsable: " +
+                            it->second->detail};
+            }
+            if (replay.applied() != applied || replay.digest() != digest) {
+                return {name(), false,
+                        "member " + std::to_string(m) + " KV state (applied=" +
+                            std::to_string(applied) + ") is not the fold of its delivered " +
+                            "prefix (replay applied=" + std::to_string(replay.applied()) +
+                            "): reads would not be linearizable"};
+            }
+        }
+        return {name(), true, {}};
+    }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Invariant>>& builtin_invariants() {
@@ -282,6 +442,8 @@ const std::vector<std::unique_ptr<Invariant>>& builtin_invariants() {
         list->push_back(std::make_unique<NoDeliveryFromExcludedInvariant>());
         list->push_back(std::make_unique<NoFalseExclusionInvariant>());
         list->push_back(std::make_unique<FailSignalImpliesFaultInvariant>());
+        list->push_back(std::make_unique<RejoinedStateInvariant>());
+        list->push_back(std::make_unique<KvLinearizabilityInvariant>());
         return list;
     }();
     return *checkers;

@@ -239,6 +239,9 @@ void schedule_timeline(deploy::Deployment& d, RunState& st) {
                     break;
                 case Kind::kLoad:
                     break;  // arrivals pre-scheduled by schedule_load
+                case Kind::kRecoverMember:
+                    d.recover(event.member);
+                    break;
             }
             if (st.obs != nullptr) st.obs->note(event.member, "scenario event: " + te.detail);
             st.trace.record(std::move(te));
@@ -267,9 +270,29 @@ void drive(deploy::Deployment& d, const Scenario& s) {
 ScenarioReport finish(RunState& st, deploy::Deployment& dep, obs::Obs* obs) {
     net::Transport& net = dep.network();
     const TimePoint now = dep.now();
+
+    // Recovery scenarios close with one app_state record per member: the
+    // replicated KV store's fold of that member's committed prefix, which the
+    // rejoined-state and linearizability checkers compare. Gated on the
+    // timeline so runs without recovery keep byte-identical traces.
+    if (st.s.has_recovery()) {
+        for (int m = 0; m < st.s.group_size; ++m) {
+            const auto info = dep.app_state_of(m);
+            if (!info.has_value()) continue;
+            TraceEvent e;
+            e.kind = TraceEvent::Kind::kAppState;
+            e.at = now;
+            e.member = m;
+            e.seq = info->applied;
+            e.detail = info->detail;
+            st.trace.record(std::move(e));
+        }
+    }
+
     ScenarioReport report;
     report.scenario = st.s;
     report.trace = std::move(st.trace);
+    report.recovery = dep.recovery_stats();
 
     auto& m = report.metrics;
     m.mean_latency_ms = st.latencies_ms.mean();
@@ -328,6 +351,7 @@ deploy::DeploymentSpec spec_of(const Scenario& s) {
     spec.placement = s.placement;
     spec.fs_config = s.fs_config;
     spec.backend = s.backend;
+    spec.checkpoint_interval = s.checkpoint_interval;
     return spec;
 }
 
@@ -411,7 +435,8 @@ ScenarioReport run_scenario(const Scenario& scenario) {
     const bool has_host_event = std::any_of(
         scenario.timeline.begin(), scenario.timeline.end(), [](const ScenarioEvent& e) {
             return e.kind == ScenarioEvent::Kind::kCrashMember ||
-                   e.kind == ScenarioEvent::Kind::kPartition;
+                   e.kind == ScenarioEvent::Kind::kPartition ||
+                   e.kind == ScenarioEvent::Kind::kRecoverMember;
         });
     if (has_host_event && !d->supports_host_faults()) {
         throw ScenarioRejected(

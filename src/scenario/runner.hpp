@@ -68,6 +68,13 @@ struct ScenarioReport {
     ScenarioMetrics metrics;
     std::vector<InvariantResult> invariants;
     Trace trace;
+    /// Deterministic checkpoint/recovery counters (deploy::RecoveryStats):
+    /// checkpoints taken, PBFT log slots truncated/retained, state transfers
+    /// served, rejoins completed, flush-log evictions/gaps. All zero on runs
+    /// without a checkpoint interval or recovery events. Like the zero-copy
+    /// counters, deliberately NOT serialized into JSON/CSV reports — the
+    /// perf-regression bench gates on them through its own tables.
+    deploy::RecoveryStats recovery;
     /// Sweep cells below a system's group-size floor are recorded, not run:
     /// metrics/invariants/trace stay empty and `skip_reason` says why.
     bool skipped{false};

@@ -12,6 +12,14 @@ ScenarioEvent ScenarioEvent::crash(TimePoint at, int member) {
     return e;
 }
 
+ScenarioEvent ScenarioEvent::recover(TimePoint at, int member) {
+    ScenarioEvent e;
+    e.kind = Kind::kRecoverMember;
+    e.at = at;
+    e.member = member;
+    return e;
+}
+
 ScenarioEvent ScenarioEvent::fault(TimePoint at, int member, PairNode node,
                                    const fs::FaultPlan& plan) {
     ScenarioEvent e;
@@ -133,6 +141,8 @@ std::string ScenarioEvent::describe() const {
             return "load rate=" + std::to_string(load_spec.rate) +
                    "/s duration=" + std::to_string(load_spec.duration) +
                    "us payload=" + std::to_string(load_spec.payload);
+        case Kind::kRecoverMember:
+            return "recover member=" + std::to_string(member);
     }
     return "?";
 }
@@ -160,6 +170,9 @@ bool Scenario::fault_free() const {
             // runs (the schedule-space explorer found this: a lone
             // fire_timeouts event under load violates validity).
             case ScenarioEvent::Kind::kFireTimeouts:
+            // A rejoin always follows a disruption (and the rejoin handshake
+            // itself installs views); validity is not claimed across it.
+            case ScenarioEvent::Kind::kRecoverMember:
                 return false;
             default:
                 break;
@@ -173,6 +186,12 @@ bool Scenario::has_perpetual_activity() const {
     return std::any_of(timeline.begin(), timeline.end(), [](const ScenarioEvent& e) {
         return e.kind == ScenarioEvent::Kind::kFaultPlan &&
                e.fault_plan.spontaneous_fail_signals;
+    });
+}
+
+bool Scenario::has_recovery() const {
+    return std::any_of(timeline.begin(), timeline.end(), [](const ScenarioEvent& e) {
+        return e.kind == ScenarioEvent::Kind::kRecoverMember;
     });
 }
 

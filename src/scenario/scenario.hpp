@@ -60,6 +60,7 @@ struct ScenarioEvent {
         kBurst = 7,            ///< workload burst: extra messages from one member
         kFireTimeouts = 8,     ///< PBFT: fire the view-change liveness timers
         kLoad = 9,             ///< open-loop Poisson load phase (LoadSpec)
+        kRecoverMember = 10,   ///< heal a crashed member's links and rejoin it
     };
 
     Kind kind{Kind::kCrashMember};
@@ -75,6 +76,7 @@ struct ScenarioEvent {
     LoadSpec load_spec{};                   ///< kLoad
 
     static ScenarioEvent crash(TimePoint at, int member);
+    static ScenarioEvent recover(TimePoint at, int member);
     static ScenarioEvent fault(TimePoint at, int member, PairNode node,
                                const fs::FaultPlan& plan);
     static ScenarioEvent delay_surge(TimePoint at, Duration extra, TimePoint until);
@@ -143,6 +145,11 @@ struct Scenario {
     /// common/batch.hpp); off by default.
     BatchConfig batch{};
 
+    /// Replicated-app checkpoint cadence (every N applied requests; 0 = off).
+    /// Feeds PBFT log truncation and the rejoin state-transfer sources; the
+    /// KV digest is maintained either way.
+    std::uint64_t checkpoint_interval{0};
+
     // System-specific knobs.
     bool start_suspectors{false};                       ///< NewTOP only
     newtop::SuspectorOptions suspector{};               ///< NewTOP only
@@ -169,6 +176,11 @@ struct Scenario {
     /// (suspectors, spontaneous fail-signal loops), so run-to-quiescence
     /// would never terminate.
     [[nodiscard]] bool has_perpetual_activity() const;
+
+    /// True when the timeline rejoins a crashed member (kRecoverMember).
+    /// Gates the recovery-only checkers and the end-of-run app-state trace
+    /// records, so scenarios without recovery keep byte-identical reports.
+    [[nodiscard]] bool has_recovery() const;
 
     /// Last instant at which the declared workload injects a message.
     [[nodiscard]] TimePoint workload_end() const;

@@ -12,6 +12,7 @@ const char* name_of(TraceEvent::Kind kind) {
         case TraceEvent::Kind::kFailSignal: return "fail_signal";
         case TraceEvent::Kind::kMiddlewareFailure: return "middleware_failure";
         case TraceEvent::Kind::kScenarioEvent: return "event";
+        case TraceEvent::Kind::kAppState: return "app_state";
     }
     return "?";
 }

@@ -24,6 +24,7 @@ struct TraceEvent {
         kFailSignal = 4,     ///< an FSO started fail-signalling
         kMiddlewareFailure = 5,  ///< Invocation layer saw its own pair fail
         kScenarioEvent = 6,      ///< a timeline event was applied
+        kAppState = 7,           ///< end-of-run replicated app state of one member
     };
 
     Kind kind{Kind::kSent};
